@@ -1,0 +1,461 @@
+// Package webcluster's root benchmark suite regenerates every measurement
+// of the paper's evaluation (§5) as testing.B benchmarks:
+//
+//	§5.2 URL-table overhead  → BenchmarkURLTable*
+//	Figure 2 (Workload A)    → BenchmarkFigure2*
+//	Figure 3 (Workload B)    → BenchmarkFigure3*
+//	Figure 4 (segregation)   → BenchmarkFigure4
+//	distributor relay cost   → BenchmarkDistributorRelay, BenchmarkL4RouterRelay
+//	ablations                → BenchmarkReplicaSelection*, BenchmarkConnPool
+//
+// The simulation benchmarks report the figure's metric (requests/second)
+// via b.ReportMetric, so `go test -bench .` prints the paper's series; the
+// full parameter sweeps are produced by cmd/benchfigs.
+package webcluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"webcluster/internal/backend"
+	"webcluster/internal/config"
+	"webcluster/internal/conntrack"
+	"webcluster/internal/content"
+	"webcluster/internal/distributor"
+	"webcluster/internal/httpx"
+	"webcluster/internal/l4router"
+	"webcluster/internal/loadbal"
+	"webcluster/internal/sim"
+	"webcluster/internal/urltable"
+	"webcluster/internal/workload"
+)
+
+// buildTable loads the §5.2-scale site (≈8700 objects) into a URL table.
+func buildTable(b *testing.B, cacheEntries int) (*urltable.Table, []string) {
+	b.Helper()
+	gen := content.DefaultGenParams()
+	site, err := content.GenerateSite(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := urltable.New(urltable.Options{CacheEntries: cacheEntries})
+	for _, obj := range site.Objects() {
+		if err := table.Insert(obj, "n1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := workload.NewGenerator(site, workload.DefaultZipfS, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, 1<<16)
+	for i := range paths {
+		paths[i] = g.Next().Path
+	}
+	return table, paths
+}
+
+// BenchmarkURLTableLookup measures the §5.2 routing decision — multi-level
+// hash walk with the entry cache disabled (paper reports 4.32 µs on a
+// 350 MHz distributor for ~8700 objects).
+func BenchmarkURLTableLookup(b *testing.B) {
+	table, paths := buildTable(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.Route(paths[i&0xffff]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(table.MemoryBytes())/1024, "table-KB")
+}
+
+// BenchmarkURLTableLookupCached is the same with the recently-accessed
+// entry cache enabled (the Mogul demultiplexing-speedup ablation).
+func BenchmarkURLTableLookupCached(b *testing.B) {
+	table, paths := buildTable(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.Route(paths[i&0xffff]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := table.Stats()
+	b.ReportMetric(100*float64(st.CacheHits)/float64(st.Lookups), "cache-hit-%")
+}
+
+// BenchmarkURLTableInsert measures table construction cost.
+func BenchmarkURLTableInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := urltable.New(urltable.Options{})
+		for j := 0; j < 1000; j++ {
+			obj := content.Object{
+				Path:  fmt.Sprintf("/d%d/f%d.html", j%16, j),
+				Size:  1024,
+				Class: content.ClassHTML,
+			}
+			if err := table.Insert(obj, "n1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMappingTable measures the distributor's per-connection state
+// machine: install, handshake, bind, request, teardown.
+func BenchmarkMappingTable(b *testing.B) {
+	mt := conntrack.NewMappingTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := conntrack.ClientKey{IP: "10.0.0.1", Port: i & 0xffff}
+		if _, err := mt.Install(key, uint32(i), 0); err != nil {
+			b.Fatal(err)
+		}
+		_, _ = mt.Advance(key, conntrack.EventHandshakeDone)
+		_ = mt.Bind(key, "n1")
+		_, _ = mt.Advance(key, conntrack.EventRequestBound)
+		_, _ = mt.Advance(key, conntrack.EventRequestDone)
+		_, _ = mt.Advance(key, conntrack.EventClientFin)
+		_, _ = mt.Advance(key, conntrack.EventFinAcked)
+		_, _ = mt.Advance(key, conntrack.EventLastAck)
+	}
+}
+
+// BenchmarkConnPool measures pre-forked connection checkout/return.
+func BenchmarkConnPool(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = bufio.NewReader(c).ReadByte() }()
+		}
+	}()
+	pool := conntrack.NewPool(func(config.NodeID) (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	}, 4, 8)
+	defer func() { _ = pool.Close() }()
+	if err := pool.Prefork([]config.NodeID{"n1"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc, err := pool.Acquire("n1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Release(pc)
+	}
+}
+
+// BenchmarkHTTPParse measures request parsing on the distributor's path.
+func BenchmarkHTTPParse(b *testing.B) {
+	raw := []byte("GET /docs/d01/page00123.html HTTP/1.1\r\nHost: cluster\r\nUser-Agent: webbench\r\n\r\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := bufio.NewReader(newRepeatReader(raw))
+		if _, err := httpx.ReadRequest(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// repeatReader yields the same bytes forever without allocation.
+type repeatReader struct {
+	data []byte
+	off  int
+}
+
+func newRepeatReader(data []byte) *repeatReader { return &repeatReader{data: data} }
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data[r.off:])
+	r.off = (r.off + n) % len(r.data)
+	return n, nil
+}
+
+// liveCluster builds a distributor over two real loopback backends.
+func liveCluster(b *testing.B) (front string, cleanup func()) {
+	b.Helper()
+	spec := config.ClusterSpec{DistributorCPUMHz: 350}
+	var closers []func()
+	for i := 0; i < 2; i++ {
+		id := config.NodeID(fmt.Sprintf("n%d", i+1))
+		store := &backend.MemStore{}
+		_ = store.Put("/bench.html", backend.SynthesizeBody("/bench.html", 4096))
+		srv, err := backend.NewServer(backend.ServerOptions{
+			Spec: config.NodeSpec{
+				ID: id, CPUMHz: 350, MemoryMB: 64,
+				Disk: config.DiskSCSI, Platform: config.LinuxApache,
+			},
+			Store: store,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Nodes = append(spec.Nodes, config.NodeSpec{
+			ID: id, CPUMHz: 350, MemoryMB: 64,
+			Disk: config.DiskSCSI, Platform: config.LinuxApache, Addr: addr,
+		})
+		closers = append(closers, func() { _ = srv.Close() })
+	}
+	table := urltable.New(urltable.Options{CacheEntries: 64})
+	obj := content.Object{Path: "/bench.html", Size: 4096, Class: content.ClassHTML}
+	if err := table.Insert(obj, "n1", "n2"); err != nil {
+		b.Fatal(err)
+	}
+	dist, err := distributor.New(distributor.Options{Table: table, Cluster: spec, PreforkPerNode: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front, err = dist.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	closers = append(closers, func() { _ = dist.Close() })
+	return front, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+// BenchmarkDistributorRelay measures one keep-alive request relayed
+// through the content-aware distributor over loopback (§2.3: the relay
+// overhead the paper reports as insignificant).
+func BenchmarkDistributorRelay(b *testing.B) {
+	front, cleanup := liveCluster(b)
+	defer cleanup()
+	conn, err := net.Dial("tcp", front)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	req := &httpx.Request{
+		Method: "GET", Target: "/bench.html", Path: "/bench.html",
+		Proto: httpx.Proto11, Header: httpx.Header{"Host": "c"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := httpx.WriteRequest(conn, req); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := httpx.ReadResponse(br)
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp %v %v", resp, err)
+		}
+	}
+}
+
+// BenchmarkL4RouterRelay is the baseline: one request through the
+// content-blind layer-4 router (fresh connection per request, as L4
+// semantics require for correct WLC counting).
+func BenchmarkL4RouterRelay(b *testing.B) {
+	store := &backend.MemStore{}
+	_ = store.Put("/bench.html", backend.SynthesizeBody("/bench.html", 4096))
+	srv, err := backend.NewServer(backend.ServerOptions{
+		Spec: config.NodeSpec{
+			ID: "n1", CPUMHz: 350, MemoryMB: 64,
+			Disk: config.DiskSCSI, Platform: config.LinuxApache,
+		},
+		Store: store,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := l4router.New(loadbal.WeightedLeastConn{}, []l4router.Backend{
+		{ID: "n1", Weight: 1, Addr: addr},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = router.Close() }()
+	front, err := router.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &httpx.Request{
+		Method: "GET", Target: "/bench.html", Path: "/bench.html",
+		Proto: httpx.Proto11, Header: httpx.Header{"Connection": "close"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := net.Dial("tcp", front)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := httpx.WriteRequest(conn, req); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp %v %v", resp, err)
+		}
+		_ = conn.Close()
+	}
+}
+
+// benchParams shrinks the figure experiments so each benchmark iteration
+// simulates one measurement cell in a few hundred milliseconds.
+func benchParams() sim.ExperimentParams {
+	p := sim.DefaultExperimentParams()
+	p.Objects = 4000
+	p.Warmup = 3 * time.Second
+	p.Measure = 8 * time.Second
+	return p
+}
+
+// runScheme simulates one figure cell and returns its throughput.
+func runScheme(b *testing.B, kind workload.Kind, scheme sim.Scheme, clients int) sim.Result {
+	b.Helper()
+	p := benchParams()
+	site, err := workload.BuildSite(kind, p.Objects, p.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	cluster, err := sim.BuildDeployment(eng, p.Hardware, p.Spec, site, scheme, p.Placement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp := sim.DefaultRunParams(clients)
+	rp.Warmup, rp.Measure, rp.Seed = p.Warmup, p.Measure, p.Seed
+	res, err := sim.Run(cluster, site, scheme, rp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// figureBench runs one scheme at the saturation point and reports the
+// figure's y-axis value.
+func figureBench(b *testing.B, kind workload.Kind, scheme sim.Scheme) {
+	var last sim.Result
+	for i := 0; i < b.N; i++ {
+		last = runScheme(b, kind, scheme, 64)
+	}
+	b.ReportMetric(last.Throughput(), "req/s")
+	b.ReportMetric(100*last.CacheHitRate, "cache-hit-%")
+}
+
+// Figure 2 (Workload A, static): the three §5.3 configurations.
+func BenchmarkFigure2Replication(b *testing.B) {
+	figureBench(b, workload.KindA, sim.SchemeFullReplication)
+}
+
+func BenchmarkFigure2NFS(b *testing.B) {
+	figureBench(b, workload.KindA, sim.SchemeNFS)
+}
+
+func BenchmarkFigure2Partition(b *testing.B) {
+	figureBench(b, workload.KindA, sim.SchemePartition)
+}
+
+// Figure 3 (Workload B, dynamic mix): full replication vs partition.
+func BenchmarkFigure3Replication(b *testing.B) {
+	figureBench(b, workload.KindB, sim.SchemeFullReplication)
+}
+
+func BenchmarkFigure3Partition(b *testing.B) {
+	figureBench(b, workload.KindB, sim.SchemePartition)
+}
+
+// BenchmarkFigure4 regenerates the per-class segregation gains at
+// saturation (paper: +45% CGI, +42% ASP, +58% static).
+func BenchmarkFigure4(b *testing.B) {
+	var base, seg sim.Result
+	for i := 0; i < b.N; i++ {
+		base = runScheme(b, workload.KindB, sim.SchemeFullReplication, 120)
+		seg = runScheme(b, workload.KindB, sim.SchemePartition, 120)
+	}
+	gain := func(bv, sv float64) float64 {
+		if bv == 0 {
+			return 0
+		}
+		return (sv - bv) / bv * 100
+	}
+	b.ReportMetric(gain(base.ClassThroughput(content.ClassCGI), seg.ClassThroughput(content.ClassCGI)), "cgi-gain-%")
+	b.ReportMetric(gain(base.ClassThroughput(content.ClassASP), seg.ClassThroughput(content.ClassASP)), "asp-gain-%")
+	b.ReportMetric(gain(base.StaticThroughput(), seg.StaticThroughput()), "static-gain-%")
+}
+
+// BenchmarkReplicaSelection compares the distributor's replica-selection
+// policies (ablation for DESIGN.md §5).
+func BenchmarkReplicaSelection(b *testing.B) {
+	for _, name := range []string{"wlc", "lc", "rr", "random", "leastload"} {
+		b.Run(name, func(b *testing.B) {
+			picker, err := loadbal.ByName(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cands := []loadbal.NodeState{
+				{ID: "a", Weight: 1, Active: 3},
+				{ID: "b", Weight: 0.57, Active: 1},
+				{ID: "c", Weight: 0.43, Active: 2},
+				{ID: "d", Weight: 1, Active: 0},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := picker.Pick(cands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkZipf measures workload generation cost (it must never be the
+// harness bottleneck).
+func BenchmarkZipf(b *testing.B) {
+	z, err := workload.NewZipf(24000, workload.DefaultZipfS, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}
+
+// BenchmarkLoadMetric measures the §3.3 per-request accounting.
+func BenchmarkLoadMetric(b *testing.B) {
+	tr := loadbal.NewTracker(loadbal.PaperWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record("n1", content.ClassHTML, 3*time.Millisecond)
+	}
+}
+
+// BenchmarkSimEngine measures raw event throughput of the simulator.
+func BenchmarkSimEngine(b *testing.B) {
+	var eng sim.Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(0, tick)
+	eng.Run(time.Duration(b.N+1) * time.Microsecond * 2)
+}

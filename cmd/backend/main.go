@@ -1,0 +1,108 @@
+// Command backend runs one back-end node: a web server plus its
+// management broker, the pair that lives on every machine of the cluster.
+//
+// Usage:
+//
+//	backend -id n1 -cpu 350 -mem 128 -disk scsi [-listen :8081] [-broker :9081] [-nfs addr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"webcluster/internal/backend"
+	"webcluster/internal/config"
+	"webcluster/internal/httpx"
+	"webcluster/internal/mgmt"
+	"webcluster/internal/nfs"
+)
+
+func main() {
+	id := flag.String("id", "node1", "node identity")
+	cpu := flag.Int("cpu", 350, "CPU MHz (capacity weighting)")
+	mem := flag.Int("mem", 128, "memory MB (page-cache sizing)")
+	diskGB := flag.Int("diskgb", 8, "disk size GB")
+	disk := flag.String("disk", "scsi", "disk kind: ide|scsi")
+	platform := flag.String("platform", "linux", "platform: linux|nt")
+	listen := flag.String("listen", "127.0.0.1:0", "web server listen address")
+	brokerAddr := flag.String("broker", "127.0.0.1:0", "broker listen address")
+	nfsAddr := flag.String("nfs", "", "shared file server address (configuration 2)")
+	docroot := flag.String("docroot", "", "serve content from this directory instead of memory")
+	flag.Parse()
+	if err := run(*id, *cpu, *mem, *diskGB, *disk, *platform, *listen, *brokerAddr, *nfsAddr, *docroot); err != nil {
+		fmt.Fprintln(os.Stderr, "backend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nfsAddr, docroot string) error {
+	spec := config.NodeSpec{
+		ID:       config.NodeID(id),
+		CPUMHz:   cpu,
+		MemoryMB: mem,
+		DiskGB:   diskGB,
+		Disk:     config.DiskSCSI,
+		Platform: config.LinuxApache,
+	}
+	if strings.EqualFold(disk, "ide") {
+		spec.Disk = config.DiskIDE
+	}
+	if strings.EqualFold(platform, "nt") {
+		spec.Platform = config.WindowsNTIIS
+	}
+
+	var store backend.Store = &backend.MemStore{}
+	var nfsClient *nfs.Client
+	switch {
+	case nfsAddr != "":
+		nfsClient = nfs.Dial(nfsAddr)
+		store = nfs.NewRemoteStore(nfsClient)
+		defer func() { _ = nfsClient.Close() }()
+	case docroot != "":
+		ds, err := backend.NewDirStore(docroot)
+		if err != nil {
+			return err
+		}
+		store = ds
+	}
+
+	srv, err := backend.NewServer(backend.ServerOptions{Spec: spec, Store: store})
+	if err != nil {
+		return err
+	}
+	// Synthetic dynamic handlers matching the generated sites' layout.
+	dyn := func(kind string) backend.DynamicHandler {
+		return func(req *httpx.Request) ([]byte, float64, error) {
+			body := fmt.Sprintf("<html>%s from %s: %s?%s</html>\n", kind, id, req.Path, req.Query)
+			return []byte(body), 1.0, nil
+		}
+	}
+	srv.HandlePrefix("/cgi-bin/", dyn("cgi"))
+	srv.HandlePrefix("/asp/", dyn("asp"))
+
+	webAddr, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	broker := mgmt.NewBroker(mgmt.Env{Node: spec.ID, Store: store, Server: srv})
+	bAddr, err := broker.Start(brokerAddr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = broker.Close() }()
+
+	fmt.Printf("node %s up: web %s broker %s (%d MHz, %d MB, %s, %s)\n",
+		id, webAddr, bAddr, cpu, mem, spec.Disk, spec.Platform)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,178 @@
+// Command console is the remote console (§3.2): it connects to the
+// controller's console endpoint and performs management operations against
+// the single-system-image document tree.
+//
+// Usage:
+//
+//	console -addr host:7070 tree
+//	console -addr host:7070 insert /docs/a.html -size 4096 -nodes n1,n2
+//	console -addr host:7070 replicate /docs/a.html -target n3
+//	console -addr host:7070 offload /docs/a.html -node n1
+//	console -addr host:7070 rename /docs/a.html /docs/b.html
+//	console -addr host:7070 delete /docs/b.html
+//	console -addr host:7070 priority /docs/b.html -p 2
+//	console -addr host:7070 status n1
+//	console -addr host:7070 loadsite -objects 500 -workload B -policy type
+//	console -addr host:7070 balance
+//	console -addr host:7070 audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"webcluster/internal/config"
+	"webcluster/internal/mgmt"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "console endpoint of the controller")
+	flag.Parse()
+	if err := run(*addr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "console:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no command; see -h for usage")
+	}
+	// Sub-command flags come after the command word and its positional
+	// arguments, so each command parses its own FlagSet.
+	sub := flag.NewFlagSet(args[0], flag.ContinueOnError)
+	size := sub.Int64("size", 0, "object size for insert")
+	prio := sub.Int("p", 0, "priority value")
+	nodesCSV := sub.String("nodes", "", "comma-separated node list")
+	source := sub.String("source", "", "replication source node")
+	target := sub.String("target", "", "replication target node")
+	node := sub.String("node", "", "node for offload")
+	objects := sub.Int("objects", 500, "loadsite: object count")
+	seed := sub.Int64("seed", 1, "loadsite: seed")
+	wl := sub.String("workload", "A", "loadsite: workload A|B")
+	policy := sub.String("policy", "type", "loadsite: placement policy type|all|rr")
+
+	// Split positionals (up to the first -flag) from the flag tail.
+	rest := args[1:]
+	var pos []string
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		pos = append(pos, rest[0])
+		rest = rest[1:]
+	}
+	if err := sub.Parse(rest); err != nil {
+		return err
+	}
+	console, err := mgmt.DialConsole(addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = console.Close() }()
+
+	var nodeIDs []config.NodeID
+	if *nodesCSV != "" {
+		for _, s := range strings.Split(*nodesCSV, ",") {
+			nodeIDs = append(nodeIDs, config.NodeID(strings.TrimSpace(s)))
+		}
+	}
+
+	req := mgmt.ConsoleRequest{Op: args[0]}
+	switch args[0] {
+	case "tree", "nodes", "audit", "balance":
+	case "insert":
+		if len(pos) < 1 {
+			return fmt.Errorf("insert needs a path")
+		}
+		req.Path, req.Size, req.Priority, req.Nodes = pos[0], *size, *prio, nodeIDs
+		body := strings.Repeat(pos[0]+"\n", int(*size/int64(len(pos[0])+1))+1)
+		req.Data = []byte(body)[:*size]
+	case "delete":
+		if len(pos) < 1 {
+			return fmt.Errorf("delete needs a path")
+		}
+		req.Path = pos[0]
+	case "rename":
+		if len(pos) < 2 {
+			return fmt.Errorf("rename needs old and new paths")
+		}
+		req.Path, req.NewPath = pos[0], pos[1]
+	case "replicate":
+		if len(pos) < 1 {
+			return fmt.Errorf("replicate needs a path")
+		}
+		req.Path, req.Source, req.Target = pos[0], config.NodeID(*source), config.NodeID(*target)
+	case "offload":
+		if len(pos) < 1 {
+			return fmt.Errorf("offload needs a path")
+		}
+		req.Path, req.Node = pos[0], config.NodeID(*node)
+	case "assign":
+		if len(pos) < 1 {
+			return fmt.Errorf("assign needs a path")
+		}
+		req.Path, req.Nodes = pos[0], nodeIDs
+	case "priority":
+		if len(pos) < 1 {
+			return fmt.Errorf("priority needs a path")
+		}
+		req.Path, req.Priority = pos[0], *prio
+	case "pin", "unpin", "verify":
+		if len(pos) < 1 {
+			return fmt.Errorf("%s needs a path", args[0])
+		}
+		req.Path = pos[0]
+	case "update":
+		if len(pos) < 1 {
+			return fmt.Errorf("update needs a path")
+		}
+		req.Path = pos[0]
+		body := strings.Repeat(pos[0]+"\n", int(*size/int64(len(pos[0])+1))+1)
+		req.Data = []byte(body)[:*size]
+	case "status":
+		if len(pos) < 1 {
+			return fmt.Errorf("status needs a node")
+		}
+		req.Node = config.NodeID(pos[0])
+	case "loadsite":
+		req.Objects, req.Seed, req.Workload, req.Policy = *objects, *seed, *wl, *policy
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+
+	resp, err := console.Do(req)
+	if err != nil {
+		return err
+	}
+	printed := false
+	if resp.Message != "" {
+		fmt.Println(resp.Message)
+		printed = true
+	}
+	switch {
+	case resp.Tree != "":
+		fmt.Print(resp.Tree)
+	case resp.Status != nil:
+		st := resp.Status
+		fmt.Printf("node %s: active=%d served=%d store=%d objs / %d bytes cacheHit=%.1f%%\n",
+			st.Node, st.ActiveRequests, st.RequestsServed,
+			st.StoreObjects, st.StoreBytes, 100*st.CacheHitRate)
+	case len(resp.Audit) > 0:
+		for _, line := range resp.Audit {
+			fmt.Println(line)
+		}
+	case len(resp.Actions) > 0:
+		for _, a := range resp.Actions {
+			fmt.Println(a)
+		}
+	case len(resp.Nodes) > 0:
+		for _, n := range resp.Nodes {
+			fmt.Println(n)
+		}
+	default:
+		if !printed {
+			fmt.Println("ok")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Command distributor runs the cluster front end: the content-aware
+// distributor, the management controller with its console endpoint, the
+// §3.3 auto-balancer, and optionally a replication server for a backup
+// distributor (or backup mode itself).
+//
+// The cluster is described by a JSON file (config.ClusterSpec) whose nodes
+// carry addr and brokerAddr of running cmd/backend processes:
+//
+//	distributor -cluster cluster.json -listen :8080 -console :7070 -repl :6060
+//	distributor -backup-of host:6060 -listen :8080   # standby mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+	"webcluster/internal/core"
+	"webcluster/internal/distributor"
+	"webcluster/internal/loadbal"
+	"webcluster/internal/mgmt"
+	"webcluster/internal/urltable"
+	"webcluster/internal/workload"
+)
+
+func main() {
+	clusterFile := flag.String("cluster", "", "cluster spec JSON (required unless -backup-of)")
+	listen := flag.String("listen", "127.0.0.1:8080", "client-facing listen address")
+	consoleAddr := flag.String("console", "", "management console listen address")
+	replAddr := flag.String("repl", "", "state-replication listen address (for backups)")
+	backupOf := flag.String("backup-of", "", "run as backup of the primary replicating at this address")
+	prefork := flag.Int("prefork", 4, "pre-forked connections per node")
+	balanceEvery := flag.Duration("balance", 0, "auto-balance interval (0 = off)")
+	tableFile := flag.String("table", "", "URL-table checkpoint: loaded at start if present, saved on shutdown")
+	accessLog := flag.String("accesslog", "", "append Common Log Format access log to this file")
+	flag.Parse()
+	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "distributor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork int, balanceEvery time.Duration) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if backupOf != "" {
+		return runBackup(backupOf, listen, sig)
+	}
+	if clusterFile == "" {
+		return fmt.Errorf("-cluster is required (or use -backup-of)")
+	}
+	spec, err := config.Load(clusterFile)
+	if err != nil {
+		return err
+	}
+
+	table := urltable.New(urltable.Options{CacheEntries: 4096})
+	if tableFile != "" {
+		if _, statErr := os.Stat(tableFile); statErr == nil {
+			restored, lerr := urltable.LoadFile(tableFile, urltable.Options{CacheEntries: 4096})
+			if lerr != nil {
+				return lerr
+			}
+			table = restored
+			fmt.Printf("restored URL table from %s (%d entries)\n", tableFile, table.Len())
+		}
+	}
+	var logWriter *os.File
+	if accessLog != "" {
+		f, ferr := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("opening access log: %w", ferr)
+		}
+		logWriter = f
+		defer func() { _ = f.Close() }()
+		fmt.Printf("access log → %s\n", accessLog)
+	}
+	distOpts := distributor.Options{
+		Table:          table,
+		Cluster:        spec,
+		PreforkPerNode: prefork,
+	}
+	if logWriter != nil {
+		distOpts.AccessLog = logWriter
+	}
+	dist, err := distributor.New(distOpts)
+	if err != nil {
+		return err
+	}
+	front, err := dist.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dist.Close() }()
+	fmt.Printf("distributor serving at %s over %d nodes\n", front, len(spec.Nodes))
+
+	controller := mgmt.NewController(table)
+	for _, n := range spec.Nodes {
+		if n.BrokerAddr == "" {
+			return fmt.Errorf("node %s has no brokerAddr", n.ID)
+		}
+		if err := controller.AddNode(n.ID, n.BrokerAddr); err != nil {
+			return err
+		}
+	}
+
+	balancer := mgmt.NewAutoBalancer(controller, dist.Tracker(), spec.Nodes,
+		loadbal.DefaultPlannerOptions(), balanceEvery)
+	if balanceEvery > 0 {
+		balancer.Start()
+		defer balancer.Close()
+		fmt.Printf("auto-balancer running every %v\n", balanceEvery)
+	}
+
+	if consoleAddr != "" {
+		console := mgmt.NewConsoleServer(controller, balancer)
+		console.SetSiteLoader(siteLoader(controller, spec))
+		caddr, err := console.Start(consoleAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = console.Close() }()
+		fmt.Printf("console at %s\n", caddr)
+	}
+
+	if replAddr != "" {
+		repl := distributor.NewReplicationServer(dist, 200*time.Millisecond)
+		raddr, err := repl.Start(replAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = repl.Close() }()
+		fmt.Printf("replicating state at %s\n", raddr)
+	}
+
+	<-sig
+	if tableFile != "" {
+		if err := table.SaveFile(tableFile); err != nil {
+			fmt.Fprintln(os.Stderr, "saving table:", err)
+		} else {
+			fmt.Printf("checkpointed URL table to %s (%d entries)\n", tableFile, table.Len())
+		}
+	}
+	fmt.Println("shutting down")
+	return nil
+}
+
+// runBackup monitors a primary and takes over its service address.
+func runBackup(primaryRepl, listen string, sig chan os.Signal) error {
+	fmt.Printf("backup mode: monitoring %s, will bind %s on takeover\n", primaryRepl, listen)
+	promote := func(table *urltable.Table, spec config.ClusterSpec) (*distributor.Distributor, error) {
+		d, err := distributor.New(distributor.Options{Table: table, Cluster: spec})
+		if err != nil {
+			return nil, err
+		}
+		var addr string
+		for i := 0; i < 100; i++ {
+			addr, err = d.Start(listen)
+			if err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("TOOK OVER: serving at %s\n", addr)
+		return d, nil
+	}
+	backup := distributor.NewBackup(primaryRepl, time.Second, promote)
+	if err := backup.Start(); err != nil {
+		return err
+	}
+	defer backup.Stop()
+
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return nil
+		default:
+		}
+		successor, err := backup.Promoted(500 * time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if successor != nil {
+			defer func() { _ = successor.Close() }()
+			<-sig
+			fmt.Println("shutting down")
+			return nil
+		}
+	}
+}
+
+// siteLoader backs the console's loadsite command: generate a workload
+// site and place it by policy through the controller.
+func siteLoader(controller *mgmt.Controller, spec config.ClusterSpec) mgmt.SiteLoader {
+	return func(req mgmt.ConsoleRequest) (string, error) {
+		objects := req.Objects
+		if objects <= 0 {
+			objects = 500
+		}
+		kind := workload.KindA
+		if req.Workload == "B" || req.Workload == "b" {
+			kind = workload.KindB
+		}
+		site, err := workload.BuildSite(kind, objects, req.Seed+1)
+		if err != nil {
+			return "", err
+		}
+		var place core.PlacementFunc
+		switch req.Policy {
+		case "", "type":
+			place = core.PlaceByType()
+		case "all":
+			place = core.PlaceAll
+		case "rr":
+			place = core.NewPlaceRoundRobin().Place
+		default:
+			return "", fmt.Errorf("unknown policy %q", req.Policy)
+		}
+		for _, obj := range site.Objects() {
+			nodes := place(obj, spec)
+			var data []byte
+			if obj.Class.Dynamic() {
+				data = []byte("#!script " + obj.Path + "\n")
+			} else {
+				data = synthesize(obj)
+			}
+			if err := controller.Insert(obj, data, nodes...); err != nil {
+				return "", fmt.Errorf("placing %s: %w", obj.Path, err)
+			}
+		}
+		return fmt.Sprintf("placed %d objects (workload %s, policy %s)",
+			site.Len(), kind, req.Policy), nil
+	}
+}
+
+// synthesize produces deterministic object bytes.
+func synthesize(obj content.Object) []byte {
+	body := make([]byte, obj.Size)
+	pattern := []byte(obj.Path + "\n")
+	for off := 0; off < len(body); off += len(pattern) {
+		copy(body[off:], pattern)
+	}
+	return body
+}

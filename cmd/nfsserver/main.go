@@ -1,0 +1,55 @@
+// Command nfsserver runs the shared file server of configuration 2
+// (§1.1/§5.3): one central store every web node fetches from. Point
+// cmd/backend processes at it with -nfs.
+//
+// Usage:
+//
+//	nfsserver -listen :2049 [-docroot dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"webcluster/internal/backend"
+	"webcluster/internal/nfs"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:2049", "listen address")
+	docroot := flag.String("docroot", "", "serve files from this directory (default: in-memory)")
+	flag.Parse()
+	if err := run(*listen, *docroot); err != nil {
+		fmt.Fprintln(os.Stderr, "nfsserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, docroot string) error {
+	var store backend.Store = &backend.MemStore{}
+	if docroot != "" {
+		ds, err := backend.NewDirStore(docroot)
+		if err != nil {
+			return err
+		}
+		store = ds
+		fmt.Printf("serving from %s\n", ds.Root())
+	}
+	srv := nfs.NewServer(store)
+	addr, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("shared file server at %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("served %d operations (%d bytes out), shutting down\n",
+		srv.Requests.Value(), srv.BytesOut.Value())
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command webbench is the load generator (§5.1): closed-loop clients
+// hammering a front end with a Zipf-skewed, heavy-tailed workload, then
+// reporting throughput and per-class latency — the WebBench stand-in.
+//
+// The site description must match what was placed on the cluster (same
+// workload kind, object count and seed — e.g. via `console loadsite`).
+//
+// Usage:
+//
+//	webbench -addr host:8080 -clients 32 -duration 10s -workload B -objects 500 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"webcluster/internal/trace"
+	"webcluster/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "front-end address")
+	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	wl := flag.String("workload", "A", "workload A|B")
+	objects := flag.Int("objects", 500, "site object count (must match placement)")
+	seed := flag.Int64("seed", 1, "site seed (must match placement)")
+	zipf := flag.Float64("zipf", workload.DefaultZipfS, "popularity skew")
+	think := flag.Duration("think", 0, "per-request think time")
+	keepalive := flag.Bool("keepalive", true, "use HTTP/1.1 keep-alive")
+	sessions := flag.Bool("sessions", false, "SURGE-style session model (pages + embedded objects + think time) instead of per-request closed loop")
+	replayFile := flag.String("replay", "", "replay this Common Log Format access log instead of generating load")
+	speedup := flag.Float64("speedup", 0, "replay: divide recorded inter-arrival gaps (0 = as fast as possible)")
+	flag.Parse()
+	if *replayFile != "" {
+		if err := runReplay(*addr, *replayFile, *speedup, *clients); err != nil {
+			fmt.Fprintln(os.Stderr, "webbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*addr, *clients, *duration, *wl, *objects, *seed, *zipf, *think, *keepalive, *sessions); err != nil {
+		fmt.Fprintln(os.Stderr, "webbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runReplay drives the front end from a recorded access log.
+func runReplay(addr, file string, speedup float64, concurrency int) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	entries, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d entries from %s against %s (speedup %.1f)\n",
+		len(entries), file, addr, speedup)
+	report, err := trace.Replay(entries, trace.ReplayOptions{
+		Addr: addr, Speedup: speedup, Concurrency: concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d requests in %v, %d errors, %d status mismatches\n",
+		report.Requests, report.Elapsed.Round(time.Millisecond),
+		report.Errors, report.StatusMismatches)
+	return nil
+}
+
+func run(addr string, clients int, duration time.Duration, wl string, objects int,
+	seed int64, zipf float64, think time.Duration, keepalive, sessions bool) error {
+	kind := workload.KindA
+	if wl == "B" || wl == "b" {
+		kind = workload.KindB
+	}
+	site, err := workload.BuildSite(kind, objects, seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s: %d objects (%d MB), %d clients for %v against %s\n",
+		kind, site.Len(), site.TotalBytes()>>20, clients, duration, addr)
+
+	if sessions {
+		report, err := workload.RunSessionPool(workload.SessionPoolOptions{
+			Addr:      addr,
+			Users:     clients,
+			Duration:  duration,
+			Site:      site,
+			ZipfS:     zipf,
+			MeanThink: think,
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", report)
+		return nil
+	}
+
+	report, err := workload.RunClientPool(workload.ClientPoolOptions{
+		Addr:      addr,
+		Clients:   clients,
+		Duration:  duration,
+		Site:      site,
+		ZipfS:     zipf,
+		Seed:      seed,
+		ThinkTime: think,
+		KeepAlive: keepalive,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s\n", report)
+	classes := make([]string, 0, len(report.PerClass))
+	for class := range report.PerClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	fmt.Printf("%-8s%10s%10s%12s%12s%12s%12s\n",
+		"class", "reqs", "errors", "mean", "p50", "p95", "p99")
+	for _, class := range classes {
+		cr := report.PerClass[class]
+		r := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+		fmt.Printf("%-8s%10d%10d%12v%12v%12v%12v\n",
+			class, cr.Requests, cr.Errors, r(cr.MeanLat), r(cr.P50), r(cr.P95), r(cr.P99))
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Failover: the §2.3 primary/backup mechanism. A primary distributor
+// serves traffic while replicating its state (URL table, mapping table,
+// cluster spec) to a backup. When the primary dies, the backup detects the
+// silence, rebuilds the distributor from replicated state, binds the same
+// service address, and keeps serving — then recruits its own backup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+	"webcluster/internal/core"
+	"webcluster/internal/distributor"
+	"webcluster/internal/urltable"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Back-end pool via core.Launch; we will manage the front end by
+	// hand to demonstrate takeover.
+	cluster, err := core.Launch(core.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cluster.Close() }()
+
+	// Place some content.
+	for i := 0; i < 6; i++ {
+		path := fmt.Sprintf("/site/page%d.html", i)
+		obj := content.Object{Path: path, Size: 18, Class: content.ClassHTML}
+		if err := cluster.Controller.Insert(
+			obj, []byte("<html>page</html>"),
+			cluster.Spec.Nodes[i%len(cluster.Spec.Nodes)].ID); err != nil {
+			return err
+		}
+	}
+
+	// The primary in core.Launch is cluster.Distributor. Attach a
+	// replication server to it.
+	repl := distributor.NewReplicationServer(cluster.Distributor, 50*time.Millisecond)
+	replAddr, err := repl.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("primary serving at %s, replicating state at %s\n",
+		cluster.FrontAddr, replAddr)
+
+	// The backup monitors the primary. On takeover it binds the
+	// primary's old service address (the "virtual IP" migrating).
+	serviceAddr := cluster.FrontAddr
+	promote := func(table *urltable.Table, spec config.ClusterSpec) (*distributor.Distributor, error) {
+		d, err := distributor.New(distributor.Options{Table: table, Cluster: spec})
+		if err != nil {
+			return nil, err
+		}
+		// The address may need a beat to free after the primary dies.
+		var addr string
+		for i := 0; i < 50; i++ {
+			addr, err = d.Start(serviceAddr)
+			if err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("backup promoted: serving at %s\n", addr)
+		return d, nil
+	}
+	backup := distributor.NewBackup(replAddr, 300*time.Millisecond, promote)
+	if err := backup.Start(); err != nil {
+		return err
+	}
+
+	// Traffic flows through the primary.
+	resp, err := cluster.Get("/site/page0.html")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("via primary: GET /site/page0.html → %d (served-by %s)\n",
+		resp.StatusCode, resp.Header.Get("X-Served-By"))
+
+	// Let a snapshot replicate, then kill the primary.
+	time.Sleep(300 * time.Millisecond)
+	fmt.Println("killing primary distributor...")
+	_ = repl.Close()
+	_ = cluster.Distributor.Close()
+
+	successor, err := backup.Promoted(5 * time.Second)
+	if err != nil {
+		return fmt.Errorf("takeover failed: %w", err)
+	}
+	if successor == nil {
+		return fmt.Errorf("backup did not take over in time")
+	}
+	defer func() { _ = successor.Close() }()
+
+	// The same service address answers again, from replicated state.
+	resp2, err := cluster.Get("/site/page0.html")
+	if err != nil {
+		return fmt.Errorf("after takeover: %w", err)
+	}
+	fmt.Printf("via successor: GET /site/page0.html → %d (served-by %s)\n",
+		resp2.StatusCode, resp2.Header.Get("X-Served-By"))
+	fmt.Printf("successor URL table: %d entries (replicated)\n", successor.Table().Len())
+
+	// The promoted distributor creates its own backup (§2.3: "the
+	// backup takes over the job of the primary and creates its own
+	// backup").
+	repl2 := distributor.NewReplicationServer(successor, 50*time.Millisecond)
+	repl2Addr, err := repl2.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = repl2.Close() }()
+	backup2 := distributor.NewBackup(repl2Addr, 300*time.Millisecond, promote)
+	if err := backup2.Start(); err != nil {
+		return err
+	}
+	defer backup2.Stop()
+	fmt.Printf("successor now replicating to its own backup at %s\n", repl2Addr)
+	return nil
+}

@@ -1,0 +1,3 @@
+module webcluster
+
+go 1.22

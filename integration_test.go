@@ -1,0 +1,193 @@
+package webcluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"webcluster/internal/config"
+)
+
+// TestProcessLevelDeployment exercises the full multi-process topology the
+// README documents: three backend processes, a distributor process with a
+// console endpoint, the console CLI loading a site, and webbench driving
+// load — all through the real binaries.
+func TestProcessLevelDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level integration")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	ports := freePorts(t, 8)
+	webAddrs := []string{
+		fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		fmt.Sprintf("127.0.0.1:%d", ports[1]),
+		fmt.Sprintf("127.0.0.1:%d", ports[2]),
+	}
+	brokerAddrs := []string{
+		fmt.Sprintf("127.0.0.1:%d", ports[3]),
+		fmt.Sprintf("127.0.0.1:%d", ports[4]),
+		fmt.Sprintf("127.0.0.1:%d", ports[5]),
+	}
+	frontAddr := fmt.Sprintf("127.0.0.1:%d", ports[6])
+	consoleAddr := fmt.Sprintf("127.0.0.1:%d", ports[7])
+
+	// Backends.
+	specs := []struct {
+		id   string
+		cpu  int
+		mem  int
+		disk string
+	}{
+		{"n1", 350, 128, "scsi"},
+		{"n2", 200, 128, "scsi"},
+		{"n3", 150, 64, "ide"},
+	}
+	for i, s := range specs {
+		cmd := exec.Command(filepath.Join(bin, "backend"),
+			"-id", s.id,
+			"-cpu", fmt.Sprint(s.cpu),
+			"-mem", fmt.Sprint(s.mem),
+			"-disk", s.disk,
+			"-listen", webAddrs[i],
+			"-broker", brokerAddrs[i],
+		)
+		startProcess(t, cmd)
+	}
+	for _, addr := range append(append([]string{}, webAddrs...), brokerAddrs...) {
+		waitListening(t, addr)
+	}
+
+	// Cluster spec file.
+	spec := config.ClusterSpec{DistributorCPUMHz: 350}
+	for i, s := range specs {
+		disk := config.DiskSCSI
+		if s.disk == "ide" {
+			disk = config.DiskIDE
+		}
+		spec.Nodes = append(spec.Nodes, config.NodeSpec{
+			ID: config.NodeID(s.id), CPUMHz: s.cpu, MemoryMB: s.mem,
+			DiskGB: 4, Disk: disk, Platform: config.LinuxApache,
+			Addr: webAddrs[i], BrokerAddr: brokerAddrs[i],
+		})
+	}
+	clusterFile := filepath.Join(bin, "cluster.json")
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(clusterFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributor + console.
+	startProcess(t, exec.Command(filepath.Join(bin, "distributor"),
+		"-cluster", clusterFile,
+		"-listen", frontAddr,
+		"-console", consoleAddr,
+	))
+	waitListening(t, frontAddr)
+	waitListening(t, consoleAddr)
+
+	// Load a site through the console CLI.
+	out := runCLI(t, filepath.Join(bin, "console"),
+		"-addr", consoleAddr, "loadsite",
+		"-objects", "200", "-workload", "B", "-policy", "type", "-seed", "7")
+	if !strings.Contains(out, "placed 200 objects") {
+		t.Fatalf("loadsite output = %q", out)
+	}
+
+	// Tree shows content.
+	out = runCLI(t, filepath.Join(bin, "console"), "-addr", consoleAddr, "tree")
+	if !strings.Contains(out, ".html") {
+		t.Fatalf("tree output = %q", out)
+	}
+
+	// Drive load with webbench; assert zero errors.
+	out = runCLI(t, filepath.Join(bin, "webbench"),
+		"-addr", frontAddr, "-clients", "4", "-duration", "2s",
+		"-workload", "B", "-objects", "200", "-seed", "7")
+	if !strings.Contains(out, " 0 errors") {
+		t.Fatalf("webbench reported errors:\n%s", out)
+	}
+
+	// Node status via console.
+	out = runCLI(t, filepath.Join(bin, "console"), "-addr", consoleAddr, "status", "n1")
+	if !strings.Contains(out, "node n1:") {
+		t.Fatalf("status output = %q", out)
+	}
+}
+
+// startProcess launches cmd and guarantees cleanup.
+func startProcess(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %v: %v", cmd.Args, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+}
+
+// runCLI runs a one-shot command and returns its combined output.
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(name, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(name), args, err, out)
+	}
+	return string(out)
+}
+
+// waitListening polls until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", addr)
+}
+
+// freePorts reserves n distinct ephemeral ports and releases them for the
+// children to bind.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	listeners := make([]net.Listener, 0, n)
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, l)
+		addr, ok := l.Addr().(*net.TCPAddr)
+		if !ok {
+			t.Fatal("not a TCP address")
+		}
+		ports = append(ports, addr.Port)
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	return ports
+}

@@ -1,0 +1,345 @@
+package backend
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"webcluster/internal/cache"
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+	"webcluster/internal/httpx"
+	"webcluster/internal/metrics"
+)
+
+// DynamicHandler produces the response body for a dynamic request. The
+// returned cpuCost (abstract work units) feeds the node's service-delay
+// model and the §3.3 load metric.
+type DynamicHandler func(req *httpx.Request) (body []byte, cpuCost float64, err error)
+
+// ServedRequest describes one request the delay model prices.
+type ServedRequest struct {
+	Class    content.Class
+	Size     int64
+	CPUCost  float64
+	CacheHit bool
+}
+
+// DelayFunc converts a served request into artificial service time,
+// letting examples emulate heterogeneous hardware on one machine. A nil
+// DelayFunc means no added delay.
+type DelayFunc func(ServedRequest) time.Duration
+
+// ServerOptions configures a back-end server.
+type ServerOptions struct {
+	// Spec identifies the node and sizes its page cache.
+	Spec config.NodeSpec
+	// Store holds the node's placed content.
+	Store Store
+	// PageCacheBytes bounds the memory page cache; 0 derives ~60% of
+	// MemoryMB (the share of RAM an OS page cache typically claims).
+	PageCacheBytes int64
+	// Delay injects emulated service time; nil for none.
+	Delay DelayFunc
+}
+
+// Server is one back-end web-server node. Construct with NewServer.
+type Server struct {
+	spec      config.NodeSpec
+	store     Store
+	pageCache *cache.LRU
+	delay     DelayFunc
+
+	mu       sync.Mutex
+	handlers map[string]DynamicHandler // keyed by exact path
+	prefixes []prefixHandler           // checked in registration order
+	conns    map[net.Conn]struct{}
+
+	stats metrics.Registry
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	closeOne sync.Once
+
+	// active tracks in-flight requests, the L4 routers' "connections"
+	// load signal.
+	active metrics.Counter
+	done   metrics.Counter
+}
+
+type prefixHandler struct {
+	prefix  string
+	handler DynamicHandler
+}
+
+// NewServer constructs a node server.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Store == nil {
+		return nil, errors.New("backend: nil store")
+	}
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	cacheBytes := opts.PageCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = int64(opts.Spec.MemoryMB) * 1024 * 1024 * 6 / 10
+	}
+	return &Server{
+		spec:      opts.Spec,
+		store:     opts.Store,
+		pageCache: cache.NewLRU(cacheBytes),
+		delay:     opts.Delay,
+		handlers:  make(map[string]DynamicHandler),
+		conns:     make(map[net.Conn]struct{}),
+		closed:    make(chan struct{}),
+	}, nil
+}
+
+// ID returns the node's identity.
+func (s *Server) ID() config.NodeID { return s.spec.ID }
+
+// Spec returns the node's hardware description.
+func (s *Server) Spec() config.NodeSpec { return s.spec }
+
+// Store exposes the node's content store (the broker operates on it).
+func (s *Server) Store() Store { return s.store }
+
+// PageCacheStats reports page-cache effectiveness.
+func (s *Server) PageCacheStats() cache.Stats { return s.pageCache.Stats() }
+
+// InvalidateCache drops a path from the page cache. Management agents
+// call this after mutating the store so the node never serves stale bytes
+// (the file-system change that would invalidate an OS page cache).
+func (s *Server) InvalidateCache(path string) { s.pageCache.Remove(path) }
+
+// Stats exposes per-class request statistics.
+func (s *Server) Stats() *metrics.Registry { return &s.stats }
+
+// ActiveRequests returns in-flight requests minus completions — the
+// instantaneous connection count load metrics use.
+func (s *Server) ActiveRequests() int64 { return s.active.Value() - s.done.Value() }
+
+// HandleFunc registers a dynamic handler for an exact path.
+func (s *Server) HandleFunc(path string, h DynamicHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[path] = h
+}
+
+// HandlePrefix registers a dynamic handler for every path under prefix.
+func (s *Server) HandlePrefix(prefix string, h DynamicHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prefixes = append(s.prefixes, prefixHandler{prefix: prefix, handler: h})
+}
+
+// lookupHandler finds a registered dynamic handler for path.
+func (s *Server) lookupHandler(path string) (DynamicHandler, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.handlers[path]; ok {
+		return h, true
+	}
+	for _, ph := range s.prefixes {
+		if strings.HasPrefix(path, ph.prefix) {
+			return ph.handler, true
+		}
+	}
+	return nil, false
+}
+
+// Handle serves one parsed request and returns the response. This is the
+// request path shared by the network front end and in-process callers
+// (tests, the simulator's real-logic cross-checks).
+func (s *Server) Handle(req *httpx.Request) *httpx.Response {
+	s.active.Inc()
+	defer s.done.Inc()
+	start := time.Now()
+	resp := s.serve(req)
+	class := content.Classify(req.Path).String()
+	cs := s.stats.Class(class)
+	cs.Requests.Inc()
+	cs.Bytes.Add(int64(len(resp.Body)))
+	cs.Latency.Observe(time.Since(start))
+	if resp.StatusCode >= 400 {
+		cs.Errors.Inc()
+	}
+	return resp
+}
+
+// serve produces the response for req.
+func (s *Server) serve(req *httpx.Request) *httpx.Response {
+	if req.Method != "GET" && req.Method != "POST" && req.Method != "HEAD" {
+		return httpx.NewResponse(req.Proto, 400, []byte("unsupported method\n"))
+	}
+	class := content.Classify(req.Path)
+
+	if h, ok := s.lookupHandler(req.Path); ok {
+		body, cpuCost, err := h(req)
+		if err != nil {
+			return httpx.NewResponse(req.Proto, 500, []byte(err.Error()+"\n"))
+		}
+		s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CPUCost: cpuCost})
+		resp := httpx.NewResponse(req.Proto, 200, body)
+		resp.Header.Set("Content-Type", "text/html")
+		resp.Header.Set("X-Served-By", string(s.spec.ID))
+		return resp
+	}
+
+	// Static path: page cache first, then the store ("disk").
+	var (
+		body []byte
+		hit  bool
+	)
+	if v, ok := s.pageCache.Get(req.Path); ok {
+		b, okb := v.(cache.Bytes)
+		if okb {
+			body, hit = []byte(b), true
+		}
+	}
+	if !hit {
+		data, err := s.store.Fetch(req.Path)
+		if err != nil {
+			if errors.Is(err, ErrNotStored) {
+				return httpx.NewResponse(req.Proto, 404, []byte("not found: "+req.Path+"\n"))
+			}
+			return httpx.NewResponse(req.Proto, 500, []byte(err.Error()+"\n"))
+		}
+		body = data
+		s.pageCache.Put(req.Path, cache.Bytes(data))
+	}
+	s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CacheHit: hit})
+	if req.Method == "HEAD" {
+		body = nil
+	}
+	resp := httpx.NewResponse(req.Proto, 200, body)
+	resp.Header.Set("X-Served-By", string(s.spec.ID))
+	resp.Header.Set("X-Cache", map[bool]string{true: "HIT", false: "MISS"}[hit])
+	return resp
+}
+
+// sleepFor applies the emulated service delay.
+func (s *Server) sleepFor(r ServedRequest) {
+	if s.delay == nil {
+		return
+	}
+	if d := s.delay(r); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Serve accepts connections on l until Close. Each connection runs a
+// keep-alive loop. Serve blocks; run it in a goroutine and join via Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		// Close ran before this goroutine registered the listener;
+		// shut it here so Close's wait terminates.
+		s.mu.Unlock()
+		return l.Close()
+	default:
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return fmt.Errorf("backend %s: accept: %w", s.spec.ID, err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Start listens on addr and serves in the background, returning the bound
+// address (use ":0" to pick a free port).
+func (s *Server) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("backend %s: listen: %w", s.spec.ID, err)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.Serve(l)
+	}()
+	return l.Addr().String(), nil
+}
+
+// serveConn runs the keep-alive request loop for one connection.
+func (s *Server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := httpx.ReadRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				resp := httpx.NewResponse(httpx.Proto10, 400, []byte("bad request\n"))
+				_ = httpx.WriteResponse(conn, resp)
+			}
+			return
+		}
+		resp := s.Handle(req)
+		keep := req.KeepAlive()
+		if !keep {
+			resp.Header.Set("Connection", "close")
+		}
+		if err := httpx.WriteResponse(conn, resp); err != nil {
+			return
+		}
+		if !keep {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes the listener and joins the connection
+// goroutines. Safe to call multiple times.
+func (s *Server) Close() error {
+	var err error
+	s.closeOne.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		l := s.listener
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		if l != nil {
+			err = l.Close()
+		}
+	})
+	s.wg.Wait()
+	return err
+}
+
+// isClosedConn reports whether err is the use-of-closed-connection error
+// raised when the listener or a peer shuts mid-read.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed) ||
+		strings.Contains(err.Error(), "connection reset by peer") ||
+		strings.Contains(err.Error(), "broken pipe")
+}

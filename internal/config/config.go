@@ -1,0 +1,248 @@
+// Package config holds the shared cluster description types: node
+// identities, hardware specifications, and the paper's laboratory testbed
+// (§5.1) as a ready-made preset. Every other package refers to nodes
+// through these types, so the package sits at the bottom of the import
+// graph and has no dependencies inside the module.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// NodeID names a back-end server node.
+type NodeID string
+
+// DiskKind distinguishes the two disk technologies in the paper's testbed.
+type DiskKind int
+
+// Disk kinds.
+const (
+	DiskIDE DiskKind = iota + 1
+	DiskSCSI
+)
+
+// String returns the conventional name of the disk kind.
+func (d DiskKind) String() string {
+	switch d {
+	case DiskIDE:
+		return "IDE"
+	case DiskSCSI:
+		return "SCSI"
+	default:
+		return fmt.Sprintf("DiskKind(%d)", int(d))
+	}
+}
+
+// MarshalJSON encodes the disk kind as its name.
+func (d DiskKind) MarshalJSON() ([]byte, error) { return json.Marshal(d.String()) }
+
+// UnmarshalJSON decodes a disk kind from its name.
+func (d *DiskKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("disk kind: %w", err)
+	}
+	switch s {
+	case "IDE":
+		*d = DiskIDE
+	case "SCSI":
+		*d = DiskSCSI
+	default:
+		return fmt.Errorf("unknown disk kind %q", s)
+	}
+	return nil
+}
+
+// Platform is the operating system / server software pairing of a node.
+// The paper mixes Linux+Apache and Windows NT+IIS nodes to demonstrate
+// heterogeneity; the management layer must not care which is which.
+type Platform int
+
+// Platforms.
+const (
+	LinuxApache Platform = iota + 1
+	WindowsNTIIS
+)
+
+// String returns the conventional name of the platform.
+func (p Platform) String() string {
+	switch p {
+	case LinuxApache:
+		return "Linux/Apache"
+	case WindowsNTIIS:
+		return "WindowsNT/IIS"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// MarshalJSON encodes the platform as its name.
+func (p Platform) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON decodes a platform from its name.
+func (p *Platform) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("platform: %w", err)
+	}
+	switch s {
+	case "Linux/Apache":
+		*p = LinuxApache
+	case "WindowsNT/IIS":
+		*p = WindowsNTIIS
+	default:
+		return fmt.Errorf("unknown platform %q", s)
+	}
+	return nil
+}
+
+// NodeSpec describes one back-end server's hardware and identity.
+type NodeSpec struct {
+	ID       NodeID   `json:"id"`
+	CPUMHz   int      `json:"cpuMHz"`
+	MemoryMB int      `json:"memoryMB"`
+	DiskGB   int      `json:"diskGB"`
+	Disk     DiskKind `json:"disk"`
+	Platform Platform `json:"platform"`
+	// Weight is the static capacity weighting used by the load metric
+	// L_j = Σ(l_i × freq) / Weight (§3.3) and by the baseline L4 router's
+	// Weighted Least Connection policy. Zero means "derive from CPUMHz".
+	Weight float64 `json:"weight,omitempty"`
+	// Addr is the listen address of a live node; empty in pure simulation.
+	Addr string `json:"addr,omitempty"`
+	// BrokerAddr is the node's management-broker address in a live
+	// multi-process deployment.
+	BrokerAddr string `json:"brokerAddr,omitempty"`
+}
+
+// EffectiveWeight returns Weight, deriving a CPU-proportional default when
+// unset (350 MHz ⇒ 1.0).
+func (n NodeSpec) EffectiveWeight() float64 {
+	if n.Weight > 0 {
+		return n.Weight
+	}
+	if n.CPUMHz <= 0 {
+		return 1
+	}
+	return float64(n.CPUMHz) / 350.0
+}
+
+// Validate checks the spec for usability.
+func (n NodeSpec) Validate() error {
+	if n.ID == "" {
+		return fmt.Errorf("node spec: missing id")
+	}
+	if n.CPUMHz <= 0 {
+		return fmt.Errorf("node %s: non-positive CPUMHz %d", n.ID, n.CPUMHz)
+	}
+	if n.MemoryMB <= 0 {
+		return fmt.Errorf("node %s: non-positive MemoryMB %d", n.ID, n.MemoryMB)
+	}
+	if n.Weight < 0 {
+		return fmt.Errorf("node %s: negative weight %g", n.ID, n.Weight)
+	}
+	return nil
+}
+
+// ClusterSpec describes a whole testbed: the distributor host and the
+// back-end server pool.
+type ClusterSpec struct {
+	// DistributorCPUMHz sizes the front-end host (350 MHz in §5.1).
+	DistributorCPUMHz int        `json:"distributorCPUMHz"`
+	Nodes             []NodeSpec `json:"nodes"`
+}
+
+// Validate checks every node and rejects duplicate IDs.
+func (c ClusterSpec) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster spec: no nodes")
+	}
+	seen := make(map[NodeID]struct{}, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if err := n.Validate(); err != nil {
+			return fmt.Errorf("cluster spec: %w", err)
+		}
+		if _, dup := seen[n.ID]; dup {
+			return fmt.Errorf("cluster spec: duplicate node id %s", n.ID)
+		}
+		seen[n.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Node returns the spec for id.
+func (c ClusterSpec) Node(id NodeID) (NodeSpec, bool) {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeSpec{}, false
+}
+
+// NodeIDs returns the node IDs in declaration order.
+func (c ClusterSpec) NodeIDs() []NodeID {
+	ids := make([]NodeID, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// PaperTestbed returns the §5.1 laboratory configuration: a 350 MHz
+// distributor in front of three 150 MHz/64 MB/IDE nodes, two
+// 200 MHz/128 MB/SCSI nodes and four 350 MHz/128 MB/SCSI nodes, with a mix
+// of Linux+Apache and NT+IIS platforms.
+func PaperTestbed() ClusterSpec {
+	spec := ClusterSpec{DistributorCPUMHz: 350}
+	add := func(id string, mhz, memMB, diskGB int, disk DiskKind, plat Platform) {
+		spec.Nodes = append(spec.Nodes, NodeSpec{
+			ID:       NodeID(id),
+			CPUMHz:   mhz,
+			MemoryMB: memMB,
+			DiskGB:   diskGB,
+			Disk:     disk,
+			Platform: plat,
+		})
+	}
+	add("n1-150", 150, 64, 4, DiskIDE, LinuxApache)
+	add("n2-150", 150, 64, 4, DiskIDE, WindowsNTIIS)
+	add("n3-150", 150, 64, 4, DiskIDE, LinuxApache)
+	add("n4-200", 200, 128, 4, DiskSCSI, WindowsNTIIS)
+	add("n5-200", 200, 128, 4, DiskSCSI, LinuxApache)
+	add("n6-350", 350, 128, 8, DiskSCSI, LinuxApache)
+	add("n7-350", 350, 128, 8, DiskSCSI, WindowsNTIIS)
+	add("n8-350", 350, 128, 8, DiskSCSI, LinuxApache)
+	add("n9-350", 350, 128, 8, DiskSCSI, LinuxApache)
+	return spec
+}
+
+// Load reads a ClusterSpec from a JSON file.
+func Load(path string) (ClusterSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ClusterSpec{}, fmt.Errorf("reading cluster spec: %w", err)
+	}
+	var spec ClusterSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return ClusterSpec{}, fmt.Errorf("parsing cluster spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return ClusterSpec{}, err
+	}
+	return spec, nil
+}
+
+// Save writes a ClusterSpec to a JSON file.
+func Save(path string, spec ClusterSpec) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding cluster spec: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing cluster spec: %w", err)
+	}
+	return nil
+}

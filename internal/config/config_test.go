@@ -1,0 +1,226 @@
+package config
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNodeSpecValidate(t *testing.T) {
+	good := NodeSpec{ID: "n1", CPUMHz: 350, MemoryMB: 128}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []NodeSpec{
+		{CPUMHz: 350, MemoryMB: 128},        // missing id
+		{ID: "n", CPUMHz: 0, MemoryMB: 128}, // zero CPU
+		{ID: "n", CPUMHz: 350, MemoryMB: 0}, // zero mem
+		{ID: "n", CPUMHz: 350, MemoryMB: 64, Weight: -1},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	spec := ClusterSpec{Nodes: []NodeSpec{
+		{ID: "a", CPUMHz: 350, MemoryMB: 128},
+		{ID: "b", CPUMHz: 200, MemoryMB: 64},
+	}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ClusterSpec{}).Validate(); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	dup := ClusterSpec{Nodes: []NodeSpec{
+		{ID: "a", CPUMHz: 350, MemoryMB: 128},
+		{ID: "a", CPUMHz: 200, MemoryMB: 64},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate node IDs accepted")
+	}
+}
+
+func TestEffectiveWeight(t *testing.T) {
+	if got := (NodeSpec{CPUMHz: 350}).EffectiveWeight(); got != 1 {
+		t.Fatalf("350MHz weight = %g, want 1", got)
+	}
+	if got := (NodeSpec{CPUMHz: 175}).EffectiveWeight(); got != 0.5 {
+		t.Fatalf("175MHz weight = %g, want 0.5", got)
+	}
+	if got := (NodeSpec{CPUMHz: 100, Weight: 3}).EffectiveWeight(); got != 3 {
+		t.Fatalf("explicit weight = %g, want 3", got)
+	}
+	if got := (NodeSpec{}).EffectiveWeight(); got != 1 {
+		t.Fatalf("zero spec weight = %g, want 1", got)
+	}
+}
+
+func TestPaperTestbed(t *testing.T) {
+	spec := PaperTestbed()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Nodes) != 9 {
+		t.Fatalf("node count = %d, want 9", len(spec.Nodes))
+	}
+	counts := map[int]int{}
+	for _, n := range spec.Nodes {
+		counts[n.CPUMHz]++
+	}
+	if counts[150] != 3 || counts[200] != 2 || counts[350] != 4 {
+		t.Fatalf("CPU mix = %v, want 3×150, 2×200, 4×350", counts)
+	}
+	for _, n := range spec.Nodes {
+		switch n.CPUMHz {
+		case 150:
+			if n.MemoryMB != 64 || n.Disk != DiskIDE || n.DiskGB != 4 {
+				t.Errorf("150MHz node %s misconfigured: %+v", n.ID, n)
+			}
+		case 200:
+			if n.MemoryMB != 128 || n.Disk != DiskSCSI || n.DiskGB != 4 {
+				t.Errorf("200MHz node %s misconfigured: %+v", n.ID, n)
+			}
+		case 350:
+			if n.MemoryMB != 128 || n.Disk != DiskSCSI || n.DiskGB != 8 {
+				t.Errorf("350MHz node %s misconfigured: %+v", n.ID, n)
+			}
+		}
+	}
+	if spec.DistributorCPUMHz != 350 {
+		t.Fatalf("distributor CPU = %d", spec.DistributorCPUMHz)
+	}
+	// Both platforms present (heterogeneity is the point).
+	plats := map[Platform]bool{}
+	for _, n := range spec.Nodes {
+		plats[n.Platform] = true
+	}
+	if !plats[LinuxApache] || !plats[WindowsNTIIS] {
+		t.Fatal("testbed not platform-heterogeneous")
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	spec := PaperTestbed()
+	n, ok := spec.Node("n1-150")
+	if !ok || n.CPUMHz != 150 {
+		t.Fatalf("Node lookup = %+v %v", n, ok)
+	}
+	if _, ok := spec.Node("absent"); ok {
+		t.Fatal("lookup of absent node succeeded")
+	}
+	ids := spec.NodeIDs()
+	if len(ids) != 9 || ids[0] != "n1-150" {
+		t.Fatalf("NodeIDs = %v", ids)
+	}
+}
+
+func TestDiskKindJSON(t *testing.T) {
+	for _, d := range []DiskKind{DiskIDE, DiskSCSI} {
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got DiskKind
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != d {
+			t.Fatalf("round trip %v → %v", d, got)
+		}
+	}
+	var d DiskKind
+	if err := json.Unmarshal([]byte(`"FLOPPY"`), &d); err == nil {
+		t.Fatal("unknown disk kind accepted")
+	}
+	if DiskKind(99).String() == "" {
+		t.Fatal("unknown disk kind has empty String")
+	}
+}
+
+func TestPlatformJSON(t *testing.T) {
+	for _, p := range []Platform{LinuxApache, WindowsNTIIS} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Platform
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v → %v", p, got)
+		}
+	}
+	var p Platform
+	if err := json.Unmarshal([]byte(`"BeOS"`), &p); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	spec := PaperTestbed()
+	spec.Nodes[0].Addr = "127.0.0.1:8081"
+	spec.Nodes[0].BrokerAddr = "127.0.0.1:9081"
+	spec.Nodes[0].Weight = 2.5
+	if err := Save(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(spec.Nodes) {
+		t.Fatalf("node count %d != %d", len(got.Nodes), len(spec.Nodes))
+	}
+	n := got.Nodes[0]
+	if n.Addr != "127.0.0.1:8081" || n.BrokerAddr != "127.0.0.1:9081" ||
+		math.Abs(n.Weight-2.5) > 1e-9 {
+		t.Fatalf("round trip lost fields: %+v", n)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+func TestLoadInvalidSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := Save(path, ClusterSpec{Nodes: []NodeSpec{{ID: "x", CPUMHz: 1, MemoryMB: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it to an invalid (empty-node) spec.
+	spec := ClusterSpec{}
+	data, _ := json.Marshal(spec)
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if !strings.Contains(errString(Load(path)), "no nodes") {
+		t.Fatal("unexpected error message")
+	}
+}
+
+// writeFile is a thin wrapper so the corruption step reads clearly.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// errString extracts the error from a (ClusterSpec, error) pair.
+func errString(_ ClusterSpec, err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

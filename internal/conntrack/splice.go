@@ -1,0 +1,163 @@
+package conntrack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file models the packet-level mechanism of the paper's kernel
+// module ([24], §2.2): after the distributor binds a client connection to
+// a pre-forked back-end connection, it relays every packet by rewriting
+// IP addresses, ports and TCP sequence/acknowledgement numbers so that
+// client and server "transparently receive and recognize these packets".
+//
+// The user-space relay in this package's Distributor performs the same
+// function with socket reads/writes; Splice exists so the translation
+// arithmetic itself — the part that is easy to get subtly wrong and that
+// the backup distributor must replicate — is an explicit, tested artifact.
+
+// Endpoint is one side of a TCP connection.
+type Endpoint struct {
+	IP   string
+	Port int
+}
+
+// String formats the endpoint as ip:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.IP, e.Port) }
+
+// TCPFlags is the subset of flags the relay inspects.
+type TCPFlags uint8
+
+// Flag bits.
+const (
+	FlagSYN TCPFlags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+// Has reports whether all bits in f are set.
+func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
+
+// Packet is the header slice of one TCP segment the relay rewrites.
+type Packet struct {
+	Src, Dst Endpoint
+	Seq, Ack uint32
+	Flags    TCPFlags
+	// PayloadLen is the TCP payload size (the relay never touches the
+	// payload itself).
+	PayloadLen uint32
+}
+
+// Errors.
+var (
+	// ErrWrongDirection reports a packet that matches neither side of
+	// the splice.
+	ErrWrongDirection = errors.New("conntrack: packet does not belong to this splice")
+)
+
+// Splice binds one client connection to one pre-forked back-end
+// connection and rewrites packet headers between the two sequence-number
+// spaces. Construct with NewSplice at binding time (§2.2: "the distributor
+// stores related information about the selected connection in the mapping
+// table, which will bind the user connection to the pre-forked
+// connection").
+//
+// Sequence translation: let clientDataStart be the client's sequence
+// number at binding (first byte of the HTTP request to relay) and
+// backendDataStart the distributor's next sequence number on the
+// pre-forked connection. A client byte at clientDataStart+k appears on
+// the wire to the back end at backendDataStart+k, so
+//
+//	seq' = seq − clientDataStart + backendDataStart
+//
+// and symmetrically for the response stream with the two acknowledgement
+// bases. Reusing a pre-forked connection for a later client re-binds with
+// fresh bases, which is why the same persistent connection can carry many
+// client exchanges.
+type Splice struct {
+	client      Endpoint // remote client
+	vip         Endpoint // distributor's client-facing address
+	distBackend Endpoint // distributor's address on the pre-forked conn
+	backend     Endpoint // back-end server address
+
+	// Request-direction bases (client → backend).
+	clientDataStart  uint32
+	backendDataStart uint32
+	// Response-direction bases (backend → client).
+	backendRespStart uint32
+	clientRespStart  uint32
+
+	relayedToBackend uint32
+	relayedToClient  uint32
+}
+
+// NewSplice records the four sequence bases at binding time.
+func NewSplice(client, vip, distBackend, backend Endpoint,
+	clientDataStart, backendDataStart, backendRespStart, clientRespStart uint32) *Splice {
+	return &Splice{
+		client:           client,
+		vip:              vip,
+		distBackend:      distBackend,
+		backend:          backend,
+		clientDataStart:  clientDataStart,
+		backendDataStart: backendDataStart,
+		backendRespStart: backendRespStart,
+		clientRespStart:  clientRespStart,
+	}
+}
+
+// Rewrite translates one packet through the splice: a client→VIP packet
+// becomes a distributor→backend packet; a backend→distributor packet
+// becomes a VIP→client packet. Sequence arithmetic is modular (uint32
+// wraparound-safe by construction).
+func (s *Splice) Rewrite(p Packet) (Packet, error) {
+	switch {
+	case p.Src == s.client && p.Dst == s.vip:
+		// Request direction.
+		out := p
+		out.Src = s.distBackend
+		out.Dst = s.backend
+		out.Seq = p.Seq - s.clientDataStart + s.backendDataStart
+		out.Ack = p.Ack - s.clientRespStart + s.backendRespStart
+		s.relayedToBackend += p.PayloadLen
+		return out, nil
+	case p.Src == s.backend && p.Dst == s.distBackend:
+		// Response direction.
+		out := p
+		out.Src = s.vip
+		out.Dst = s.client
+		out.Seq = p.Seq - s.backendRespStart + s.clientRespStart
+		out.Ack = p.Ack - s.backendDataStart + s.clientDataStart
+		s.relayedToClient += p.PayloadLen
+		return out, nil
+	default:
+		return Packet{}, fmt.Errorf("%w: %s→%s", ErrWrongDirection, p.Src, p.Dst)
+	}
+}
+
+// RelayedBytes reports payload bytes relayed in each direction.
+func (s *Splice) RelayedBytes() (toBackend, toClient uint32) {
+	return s.relayedToBackend, s.relayedToClient
+}
+
+// ResponseEnd returns the client-space sequence number just past the last
+// relayed response byte — the number whose acknowledgement moves the §2.2
+// teardown from HALF_CLOSED to CLOSED.
+func (s *Splice) ResponseEnd() uint32 {
+	return s.clientRespStart + s.relayedToClient
+}
+
+// Rebind prepares the splice for reusing the same pre-forked connection
+// with a new client exchange: response/request bases advance past the
+// bytes already relayed, and the client-side bases are replaced.
+func (s *Splice) Rebind(client Endpoint, clientDataStart, clientRespStart uint32) {
+	s.client = client
+	s.backendDataStart += s.relayedToBackend
+	s.backendRespStart += s.relayedToClient
+	s.clientDataStart = clientDataStart
+	s.clientRespStart = clientRespStart
+	s.relayedToBackend = 0
+	s.relayedToClient = 0
+}

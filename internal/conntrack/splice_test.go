@@ -1,0 +1,193 @@
+package conntrack
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	client      = Endpoint{IP: "203.0.113.5", Port: 40001}
+	vip         = Endpoint{IP: "198.51.100.1", Port: 80}
+	distBackend = Endpoint{IP: "10.0.0.1", Port: 52000}
+	backendEP   = Endpoint{IP: "10.0.0.7", Port: 8080}
+)
+
+func newTestSplice() *Splice {
+	return NewSplice(client, vip, distBackend, backendEP,
+		1000,   // client request bytes start here
+		50000,  // pre-forked connection's request stream position
+		700000, // backend response stream position
+		3000,   // client-visible response stream position
+	)
+}
+
+func TestRewriteRequestDirection(t *testing.T) {
+	s := newTestSplice()
+	in := Packet{
+		Src: client, Dst: vip,
+		Seq: 1000, Ack: 3000,
+		Flags:      FlagACK | FlagPSH,
+		PayloadLen: 120,
+	}
+	out, err := s.Rewrite(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Src != distBackend || out.Dst != backendEP {
+		t.Fatalf("addresses = %s→%s", out.Src, out.Dst)
+	}
+	if out.Seq != 50000 {
+		t.Fatalf("seq = %d, want 50000", out.Seq)
+	}
+	if out.Ack != 700000 {
+		t.Fatalf("ack = %d, want 700000", out.Ack)
+	}
+	if out.Flags != in.Flags || out.PayloadLen != 120 {
+		t.Fatal("flags/payload not preserved")
+	}
+}
+
+func TestRewriteResponseDirection(t *testing.T) {
+	s := newTestSplice()
+	in := Packet{
+		Src: backendEP, Dst: distBackend,
+		Seq: 700000, Ack: 50120,
+		Flags:      FlagACK,
+		PayloadLen: 512,
+	}
+	out, err := s.Rewrite(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Src != vip || out.Dst != client {
+		t.Fatalf("addresses = %s→%s", out.Src, out.Dst)
+	}
+	if out.Seq != 3000 {
+		t.Fatalf("seq = %d, want 3000", out.Seq)
+	}
+	if out.Ack != 1120 {
+		t.Fatalf("ack = %d, want 1120 (client data start + 120)", out.Ack)
+	}
+}
+
+func TestRewriteWrongDirection(t *testing.T) {
+	s := newTestSplice()
+	_, err := s.Rewrite(Packet{Src: vip, Dst: client})
+	if !errors.Is(err, ErrWrongDirection) {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = s.Rewrite(Packet{Src: Endpoint{IP: "8.8.8.8", Port: 53}, Dst: vip})
+	if !errors.Is(err, ErrWrongDirection) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRelayedBytesAndResponseEnd(t *testing.T) {
+	s := newTestSplice()
+	_, _ = s.Rewrite(Packet{Src: client, Dst: vip, Seq: 1000, Ack: 3000, PayloadLen: 100})
+	_, _ = s.Rewrite(Packet{Src: backendEP, Dst: distBackend, Seq: 700000, Ack: 50100, PayloadLen: 400})
+	_, _ = s.Rewrite(Packet{Src: backendEP, Dst: distBackend, Seq: 700400, Ack: 50100, PayloadLen: 600})
+	toB, toC := s.RelayedBytes()
+	if toB != 100 || toC != 1000 {
+		t.Fatalf("relayed = %d, %d", toB, toC)
+	}
+	if s.ResponseEnd() != 4000 {
+		t.Fatalf("response end = %d, want 4000", s.ResponseEnd())
+	}
+}
+
+func TestRebindReusesBackendStream(t *testing.T) {
+	s := newTestSplice()
+	// First exchange: 100 request bytes, 500 response bytes.
+	_, _ = s.Rewrite(Packet{Src: client, Dst: vip, Seq: 1000, Ack: 3000, PayloadLen: 100})
+	_, _ = s.Rewrite(Packet{Src: backendEP, Dst: distBackend, Seq: 700000, Ack: 50100, PayloadLen: 500})
+
+	// New client binds to the same pre-forked connection.
+	client2 := Endpoint{IP: "203.0.113.9", Port: 51515}
+	s.Rebind(client2, 77000, 88000)
+
+	out, err := s.Rewrite(Packet{Src: client2, Dst: vip, Seq: 77000, Ack: 88000, PayloadLen: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-forked connection's stream continues where it left off.
+	if out.Seq != 50100 {
+		t.Fatalf("seq = %d, want 50100 (continuation of backend stream)", out.Seq)
+	}
+	if out.Ack != 700500 {
+		t.Fatalf("ack = %d, want 700500", out.Ack)
+	}
+	// The old client no longer matches.
+	if _, err := s.Rewrite(Packet{Src: client, Dst: vip}); !errors.Is(err, ErrWrongDirection) {
+		t.Fatal("stale client still spliced")
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	// Bases near the uint32 limit: translation must wrap, not overflow.
+	s := NewSplice(client, vip, distBackend, backendEP,
+		math.MaxUint32-10, 100, math.MaxUint32-5, 200)
+	var base uint32 = math.MaxUint32 - 10
+	out, err := s.Rewrite(Packet{
+		Src: client, Dst: vip,
+		Seq:        base + 20, // 20 bytes into the stream, wrapped
+		Ack:        200,
+		PayloadLen: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 120 {
+		t.Fatalf("wrapped seq = %d, want 120", out.Seq)
+	}
+}
+
+// TestPropertySpliceRoundTrip: for any bases and any in-stream packet,
+// translating a request packet and mapping its echo back preserves stream
+// offsets exactly.
+func TestPropertySpliceRoundTrip(t *testing.T) {
+	f := func(cStart, bStart, brStart, crStart uint32, offset uint16, payload uint16) bool {
+		s := NewSplice(client, vip, distBackend, backendEP, cStart, bStart, brStart, crStart)
+		in := Packet{
+			Src: client, Dst: vip,
+			Seq:        cStart + uint32(offset),
+			Ack:        crStart,
+			PayloadLen: uint32(payload),
+		}
+		out, err := s.Rewrite(in)
+		if err != nil {
+			return false
+		}
+		// The backend-space offset equals the client-space offset.
+		if out.Seq-bStart != uint32(offset) {
+			return false
+		}
+		// The backend acks those bytes; translated back to client space
+		// the ack covers exactly the same offset.
+		resp := Packet{
+			Src: backendEP, Dst: distBackend,
+			Seq: brStart,
+			Ack: out.Seq + out.PayloadLen,
+		}
+		back, err := s.Rewrite(resp)
+		if err != nil {
+			return false
+		}
+		return back.Ack == in.Seq+in.PayloadLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsHelpers(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.Has(FlagSYN) || !f.Has(FlagACK) || f.Has(FlagFIN) {
+		t.Fatal("flag arithmetic wrong")
+	}
+	if (Endpoint{IP: "1.2.3.4", Port: 80}).String() != "1.2.3.4:80" {
+		t.Fatal("endpoint string wrong")
+	}
+}

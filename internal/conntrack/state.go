@@ -1,0 +1,152 @@
+// Package conntrack implements the distributor's per-connection state: the
+// mapping table indexed by client address that binds each user connection
+// to a pre-forked back-end connection, the TCP teardown state machine
+// described in §2.2 (FIN_RECEIVED → HALF_CLOSED → CLOSED), and the pool of
+// pre-forked persistent connections to back-end nodes.
+package conntrack
+
+import "fmt"
+
+// State is the lifecycle state of one tracked client connection. The
+// distributor in the paper records TCP handshake/teardown progress in the
+// mapping table entry so it can relay packets statelessly; this user-space
+// reproduction keeps the same machine at connection-event granularity.
+type State int
+
+// Connection states, in lifecycle order.
+const (
+	// StateSynReceived: client SYN seen, entry created, handshake not
+	// yet complete.
+	StateSynReceived State = iota + 1
+	// StateEstablished: three-way handshake completed; requests flow.
+	StateEstablished
+	// StateBound: an HTTP request has been parsed and the connection is
+	// bound to a pre-forked back-end connection.
+	StateBound
+	// StateFinReceived: client FIN seen; distributor is draining the
+	// final response.
+	StateFinReceived
+	// StateHalfClosed: distributor ACKed the FIN; awaiting the last data
+	// ACK from the client.
+	StateHalfClosed
+	// StateClosed: teardown complete; entry may be deleted and the
+	// pre-forked connection released.
+	StateClosed
+)
+
+// String names the state using the paper's vocabulary.
+func (s State) String() string {
+	switch s {
+	case StateSynReceived:
+		return "SYN_RECEIVED"
+	case StateEstablished:
+		return "ESTABLISHED"
+	case StateBound:
+		return "BOUND"
+	case StateFinReceived:
+		return "FIN_RECEIVED"
+	case StateHalfClosed:
+		return "HALF_CLOSED"
+	case StateClosed:
+		return "CLOSED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Event is a connection-level occurrence that drives state transitions.
+type Event int
+
+// Events.
+const (
+	// EventHandshakeDone: three-way handshake completed.
+	EventHandshakeDone Event = iota + 1
+	// EventRequestBound: request parsed and bound to a back-end
+	// connection.
+	EventRequestBound
+	// EventRequestDone: the response has been fully relayed and, on a
+	// keep-alive connection, the binding released.
+	EventRequestDone
+	// EventClientFin: the client signalled it will send no more
+	// requests (FIN / read EOF).
+	EventClientFin
+	// EventFinAcked: distributor acknowledged the FIN.
+	EventFinAcked
+	// EventLastAck: the final data packet was acknowledged.
+	EventLastAck
+	// EventReset: the connection aborted (RST / I/O error).
+	EventReset
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EventHandshakeDone:
+		return "HANDSHAKE_DONE"
+	case EventRequestBound:
+		return "REQUEST_BOUND"
+	case EventRequestDone:
+		return "REQUEST_DONE"
+	case EventClientFin:
+		return "CLIENT_FIN"
+	case EventFinAcked:
+		return "FIN_ACKED"
+	case EventLastAck:
+		return "LAST_ACK"
+	case EventReset:
+		return "RESET"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// ErrBadTransition reports an event that is invalid in the current state.
+type ErrBadTransition struct {
+	From  State
+	Event Event
+}
+
+// Error implements error.
+func (e *ErrBadTransition) Error() string {
+	return fmt.Sprintf("conntrack: event %s invalid in state %s", e.Event, e.From)
+}
+
+// Next returns the state after ev occurs in s. EventReset is valid in every
+// non-closed state and jumps straight to CLOSED.
+func Next(s State, ev Event) (State, error) {
+	if ev == EventReset {
+		if s == StateClosed {
+			return s, &ErrBadTransition{From: s, Event: ev}
+		}
+		return StateClosed, nil
+	}
+	switch s {
+	case StateSynReceived:
+		if ev == EventHandshakeDone {
+			return StateEstablished, nil
+		}
+	case StateEstablished:
+		switch ev {
+		case EventRequestBound:
+			return StateBound, nil
+		case EventClientFin:
+			return StateFinReceived, nil
+		}
+	case StateBound:
+		switch ev {
+		case EventRequestDone:
+			return StateEstablished, nil
+		case EventClientFin:
+			return StateFinReceived, nil
+		}
+	case StateFinReceived:
+		if ev == EventFinAcked {
+			return StateHalfClosed, nil
+		}
+	case StateHalfClosed:
+		if ev == EventLastAck {
+			return StateClosed, nil
+		}
+	}
+	return s, &ErrBadTransition{From: s, Event: ev}
+}

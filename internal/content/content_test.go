@@ -1,0 +1,333 @@
+package content
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[string]Class{
+		"/cgi-bin/app.cgi": ClassCGI,
+		"/x/y.cgi":         ClassCGI,
+		"/asp/page.asp":    ClassASP,
+		"/video/movie.mpg": ClassVideo,
+		"/video/movie.avi": ClassVideo,
+		"/video/movie.mov": ClassVideo,
+		"/video/clip.rm":   ClassVideo,
+		"/images/i.gif":    ClassImage,
+		"/images/i.jpg":    ClassImage,
+		"/images/i.png":    ClassImage,
+		"/favicon.ico":     ClassImage,
+		"/docs/index.html": ClassHTML,
+		"/docs/readme":     ClassHTML,
+	}
+	for path, want := range cases {
+		if got := Classify(path); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassHTML: "html", ClassImage: "image", ClassCGI: "cgi",
+		ClassASP: "asp", ClassVideo: "video",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Error("unknown class String not diagnostic")
+	}
+}
+
+func TestClassDynamic(t *testing.T) {
+	for _, c := range Classes() {
+		want := c == ClassCGI || c == ClassASP
+		if c.Dynamic() != want {
+			t.Errorf("%v.Dynamic() = %v", c, c.Dynamic())
+		}
+	}
+}
+
+func TestNewSiteRejectsBadPaths(t *testing.T) {
+	if _, err := NewSite([]Object{{Path: "nope.html"}}); err == nil {
+		t.Fatal("relative path accepted")
+	}
+	if _, err := NewSite([]Object{{Path: ""}}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := NewSite([]Object{{Path: "/a"}, {Path: "/a"}}); err == nil {
+		t.Fatal("duplicate path accepted")
+	}
+}
+
+func TestSiteLookup(t *testing.T) {
+	site, err := NewSite([]Object{
+		{Path: "/a.html", Size: 10, Class: ClassHTML},
+		{Path: "/b.gif", Size: 20, Class: ClassImage},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Len() != 2 {
+		t.Fatalf("len = %d", site.Len())
+	}
+	obj, ok := site.Lookup("/b.gif")
+	if !ok || obj.Size != 20 {
+		t.Fatalf("Lookup = %+v %v", obj, ok)
+	}
+	if _, ok := site.Lookup("/c"); ok {
+		t.Fatal("lookup of absent path succeeded")
+	}
+	if site.ByRank(0).Path != "/a.html" {
+		t.Fatal("rank order not preserved")
+	}
+	if site.TotalBytes() != 30 {
+		t.Fatalf("total = %d", site.TotalBytes())
+	}
+}
+
+func TestSiteObjectsIsCopy(t *testing.T) {
+	site, _ := NewSite([]Object{{Path: "/a", Size: 1}})
+	objs := site.Objects()
+	objs[0].Size = 999
+	if site.ByRank(0).Size != 1 {
+		t.Fatal("Objects aliases internal state")
+	}
+}
+
+func TestGenerateSiteCounts(t *testing.T) {
+	p := GenParams{
+		Objects:          1000,
+		Seed:             3,
+		DynamicFraction:  0.2,
+		VideoFraction:    0.01,
+		MeanStaticBytes:  4096,
+		CriticalFraction: 0.02,
+	}
+	site, err := GenerateSite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Len() != 1000 {
+		t.Fatalf("object count = %d", site.Len())
+	}
+	counts := map[Class]int{}
+	crit := 0
+	for _, o := range site.Objects() {
+		counts[o.Class]++
+		if o.Priority > 0 {
+			crit++
+		}
+		if o.Class.Dynamic() && o.CPUCost <= 0 {
+			t.Fatalf("dynamic object %s has no CPU cost", o.Path)
+		}
+		if !o.Class.Dynamic() && o.CPUCost != 0 {
+			t.Fatalf("static object %s has CPU cost", o.Path)
+		}
+		if o.Size <= 0 {
+			t.Fatalf("object %s has size %d", o.Path, o.Size)
+		}
+	}
+	dyn := counts[ClassCGI] + counts[ClassASP]
+	if dyn != 200 {
+		t.Fatalf("dynamic count = %d, want 200", dyn)
+	}
+	if counts[ClassVideo] != 10 {
+		t.Fatalf("video count = %d, want 10", counts[ClassVideo])
+	}
+	if crit == 0 {
+		t.Fatal("no critical objects marked")
+	}
+}
+
+func TestGenerateSiteDeterministic(t *testing.T) {
+	p := DefaultGenParams()
+	p.Objects = 500
+	a, err := GenerateSite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.ByRank(i) != b.ByRank(i) {
+			t.Fatalf("rank %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSiteSeedVariation(t *testing.T) {
+	p := DefaultGenParams()
+	p.Objects = 500
+	a, _ := GenerateSite(p)
+	p.Seed = 2
+	b, _ := GenerateSite(p)
+	same := 0
+	for i := 0; i < a.Len(); i++ {
+		if a.ByRank(i) == b.ByRank(i) {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Fatal("different seeds produced identical sites")
+	}
+}
+
+// TestGenerateSiteHeavyTail checks the Arlitt/Jin-style invariant the
+// paper's motivation quotes: a tiny fraction of (video) objects consumes a
+// large share of total bytes yet sits in the cold half of the popularity
+// ranking.
+func TestGenerateSiteHeavyTail(t *testing.T) {
+	p := DefaultGenParams()
+	p.Objects = 8700
+	site, err := GenerateSite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var videoBytes, total int64
+	videoCount := 0
+	for i, o := range site.Objects() {
+		total += o.Size
+		if o.Class == ClassVideo {
+			videoBytes += o.Size
+			videoCount++
+			if i < site.Len()/2 {
+				t.Errorf("video object at hot rank %d", i)
+			}
+		}
+	}
+	frac := float64(videoCount) / float64(site.Len())
+	if frac > 0.01 {
+		t.Fatalf("video object fraction = %.3f, want ≲0.003", frac)
+	}
+	if float64(videoBytes)/float64(total) < 0.3 {
+		t.Fatalf("video byte share = %.2f, want heavy (>0.3)", float64(videoBytes)/float64(total))
+	}
+}
+
+func TestGenerateSiteValidation(t *testing.T) {
+	bad := []GenParams{
+		{Objects: 0},
+		{Objects: 10, DynamicFraction: -0.1},
+		{Objects: 10, DynamicFraction: 1.5},
+		{Objects: 10, DynamicFraction: 0.9, VideoFraction: 0.9},
+	}
+	for i, p := range bad {
+		if _, err := GenerateSite(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	site, _ := NewSite([]Object{
+		{Path: "/a/b/c.html"},
+		{Path: "/a/d.html"},
+		{Path: "/e.html"},
+	})
+	dirs := site.Directories()
+	want := []string{"/a", "/a/b"}
+	if len(dirs) != len(want) {
+		t.Fatalf("dirs = %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Fatalf("dirs = %v, want %v", dirs, want)
+		}
+	}
+}
+
+func TestClassBytes(t *testing.T) {
+	site, _ := NewSite([]Object{
+		{Path: "/a.html", Size: 5, Class: ClassHTML},
+		{Path: "/b.html", Size: 7, Class: ClassHTML},
+		{Path: "/c.gif", Size: 11, Class: ClassImage},
+	})
+	cb := site.ClassBytes()
+	if cb[ClassHTML] != 12 || cb[ClassImage] != 11 {
+		t.Fatalf("class bytes = %v", cb)
+	}
+}
+
+// TestPropertyStaticSizeBounds: generated static sizes stay within the
+// documented clamp for any seed.
+func TestPropertyStaticSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		p := DefaultGenParams()
+		p.Objects = 200
+		p.Seed = seed
+		site, err := GenerateSite(p)
+		if err != nil {
+			return false
+		}
+		for _, o := range site.Objects() {
+			if o.Class == ClassHTML || o.Class == ClassImage {
+				if o.Size < 128 || o.Size > 1<<20 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPathsClassifyAsLabeled: generated paths classify back to
+// their labelled class, so the URL-table, workloads and backends agree.
+func TestPropertyPathsClassifyAsLabeled(t *testing.T) {
+	f := func(seed int64) bool {
+		p := DefaultGenParams()
+		p.Objects = 300
+		p.DynamicFraction = 0.2
+		p.Seed = seed
+		site, err := GenerateSite(p)
+		if err != nil {
+			return false
+		}
+		for _, o := range site.Objects() {
+			if Classify(o.Path) != o.Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticSizeDistributionMean(t *testing.T) {
+	p := DefaultGenParams()
+	p.Objects = 20000
+	site, err := GenerateSite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	for _, o := range site.Objects() {
+		if o.Class == ClassHTML || o.Class == ClassImage {
+			sum += float64(o.Size)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	// Lognormal body + Pareto tail around MeanStaticBytes: the realized
+	// mean lands within a factor ~3 of the target.
+	if mean < float64(p.MeanStaticBytes)/3 || mean > float64(p.MeanStaticBytes)*3 {
+		t.Fatalf("static mean = %.0f, target %d", mean, p.MeanStaticBytes)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("mean is NaN")
+	}
+}

@@ -1,0 +1,446 @@
+// Package core is the public façade of the content placement and
+// management system: it assembles a complete live cluster — back-end web
+// servers with brokers on every node, the content-aware distributor in
+// front, the controller with its agent repository, and the §3.3
+// auto-balancer — inside one process, over real TCP sockets on loopback.
+// Examples, integration tests and the cmd/ tools are thin wrappers around
+// this package.
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"webcluster/internal/backend"
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+	"webcluster/internal/distributor"
+	"webcluster/internal/httpx"
+	"webcluster/internal/loadbal"
+	"webcluster/internal/mgmt"
+	"webcluster/internal/monitor"
+	"webcluster/internal/urltable"
+	"webcluster/internal/workload"
+)
+
+// PlacementFunc decides which nodes hold an object at site-load time. The
+// returned slice must name at least one node of the cluster spec.
+type PlacementFunc func(obj content.Object, spec config.ClusterSpec) []config.NodeID
+
+// PlaceAll replicates every object on every node (the traditional full-
+// replication scheme, §1.1).
+func PlaceAll(_ content.Object, spec config.ClusterSpec) []config.NodeID {
+	return spec.NodeIDs()
+}
+
+// PlaceRoundRobin spreads objects one-per-node in rank order (a minimal
+// partitioning baseline). The zero value is not usable; construct with
+// NewPlaceRoundRobin.
+type PlaceRoundRobin struct {
+	next int
+}
+
+// NewPlaceRoundRobin returns a fresh round-robin placer.
+func NewPlaceRoundRobin() *PlaceRoundRobin { return &PlaceRoundRobin{} }
+
+// Place implements PlacementFunc semantics as a method.
+func (p *PlaceRoundRobin) Place(_ content.Object, spec config.ClusterSpec) []config.NodeID {
+	ids := spec.NodeIDs()
+	id := ids[p.next%len(ids)]
+	p.next++
+	return []config.NodeID{id}
+}
+
+// PlaceByType returns the paper's recommended policy (§1.2, §4): dynamic
+// content on the fastest-CPU nodes, video on the largest-disk nodes,
+// static content round-robined over the remaining nodes (or all nodes if
+// the split would leave a group empty), with priority content replicated
+// everywhere static lives.
+func PlaceByType() PlacementFunc {
+	var staticNext, dynNext, videoNext int
+	return func(obj content.Object, spec config.ClusterSpec) []config.NodeID {
+		maxMHz, maxDisk := 0, 0
+		for _, n := range spec.Nodes {
+			if n.CPUMHz > maxMHz {
+				maxMHz = n.CPUMHz
+			}
+			if n.DiskGB > maxDisk {
+				maxDisk = n.DiskGB
+			}
+		}
+		var fast, rest, bigDisk []config.NodeID
+		for _, n := range spec.Nodes {
+			if n.CPUMHz == maxMHz {
+				fast = append(fast, n.ID)
+			} else {
+				rest = append(rest, n.ID)
+			}
+			if n.DiskGB == maxDisk {
+				bigDisk = append(bigDisk, n.ID)
+			}
+		}
+		if len(rest) == 0 {
+			rest = spec.NodeIDs()
+		}
+		switch {
+		case obj.Class.Dynamic():
+			id := fast[dynNext%len(fast)]
+			dynNext++
+			return []config.NodeID{id}
+		case obj.Class == content.ClassVideo:
+			id := bigDisk[videoNext%len(bigDisk)]
+			videoNext++
+			return []config.NodeID{id}
+		case obj.Priority > 0:
+			// Critical content is replicated across the static group
+			// for availability (§3.2).
+			return append([]config.NodeID(nil), rest...)
+		default:
+			id := rest[staticNext%len(rest)]
+			staticNext++
+			return []config.NodeID{id}
+		}
+	}
+}
+
+// NodeHandle bundles one live node's components.
+type NodeHandle struct {
+	Spec       config.NodeSpec
+	Server     *backend.Server
+	Broker     *mgmt.Broker
+	Store      backend.Store
+	Addr       string // web server address
+	BrokerAddr string
+}
+
+// Options configures Launch.
+type Options struct {
+	// Spec describes the nodes; Addr fields are ignored (Launch assigns
+	// loopback addresses). Defaults to a small 3-node cluster.
+	Spec config.ClusterSpec
+	// StoreFor supplies each node's store; nil means a fresh MemStore.
+	StoreFor func(spec config.NodeSpec) backend.Store
+	// DelayFor supplies per-node service-delay models for hardware
+	// emulation; nil for none.
+	DelayFor func(spec config.NodeSpec) backend.DelayFunc
+	// Picker selects among replicas in the distributor.
+	Picker loadbal.Picker
+	// PreforkPerNode is the distributor's persistent-connection count
+	// per node.
+	PreforkPerNode int
+	// TableCacheEntries sizes the URL table's entry cache.
+	TableCacheEntries int
+	// BalanceInterval enables the auto-balancer loop when positive.
+	BalanceInterval time.Duration
+	// BalanceOptions tunes the §3.3 planner.
+	BalanceOptions loadbal.PlannerOptions
+	// ConsoleAddr starts a remote-console endpoint when non-empty
+	// (":0" for ephemeral).
+	ConsoleAddr string
+	// MonitorInterval enables broker health probing when positive:
+	// nodes whose broker stops answering are taken out of routing until
+	// they recover.
+	MonitorInterval time.Duration
+}
+
+// DefaultSpec returns a 3-node heterogeneous development cluster.
+func DefaultSpec() config.ClusterSpec {
+	return config.ClusterSpec{
+		DistributorCPUMHz: 350,
+		Nodes: []config.NodeSpec{
+			{ID: "fast-1", CPUMHz: 350, MemoryMB: 128, DiskGB: 8, Disk: config.DiskSCSI, Platform: config.LinuxApache},
+			{ID: "mid-1", CPUMHz: 200, MemoryMB: 128, DiskGB: 4, Disk: config.DiskSCSI, Platform: config.WindowsNTIIS},
+			{ID: "slow-1", CPUMHz: 150, MemoryMB: 64, DiskGB: 4, Disk: config.DiskIDE, Platform: config.LinuxApache},
+		},
+	}
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	Spec        config.ClusterSpec
+	Table       *urltable.Table
+	Nodes       map[config.NodeID]*NodeHandle
+	Distributor *distributor.Distributor
+	Controller  *mgmt.Controller
+	Balancer    *mgmt.AutoBalancer
+	Console     *mgmt.ConsoleServer
+	Monitor     *monitor.Watcher
+	// FrontAddr is the distributor's client-facing address.
+	FrontAddr string
+	// ConsoleAddr is the console endpoint ("" when disabled).
+	ConsoleAddr string
+}
+
+// Launch starts every component and returns the running cluster. On error
+// everything already started is shut down.
+func Launch(opts Options) (cluster *Cluster, err error) {
+	spec := opts.Spec
+	if len(spec.Nodes) == 0 {
+		spec = DefaultSpec()
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	c := &Cluster{
+		Spec:  spec,
+		Nodes: make(map[config.NodeID]*NodeHandle, len(spec.Nodes)),
+	}
+	defer func() {
+		if err != nil {
+			_ = c.Close()
+		}
+	}()
+
+	cacheEntries := opts.TableCacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = 1024
+	}
+	c.Table = urltable.New(urltable.Options{CacheEntries: cacheEntries})
+	c.Controller = mgmt.NewController(c.Table)
+
+	for i := range spec.Nodes {
+		ns := spec.Nodes[i]
+		var store backend.Store
+		if opts.StoreFor != nil {
+			store = opts.StoreFor(ns)
+		} else {
+			store = &backend.MemStore{}
+		}
+		var delay backend.DelayFunc
+		if opts.DelayFor != nil {
+			delay = opts.DelayFor(ns)
+		}
+		srv, serr := backend.NewServer(backend.ServerOptions{
+			Spec:  ns,
+			Store: store,
+			Delay: delay,
+		})
+		if serr != nil {
+			return nil, fmt.Errorf("core: node %s: %w", ns.ID, serr)
+		}
+		registerDefaultDynamic(srv, ns)
+		addr, serr := srv.Start("127.0.0.1:0")
+		if serr != nil {
+			return nil, fmt.Errorf("core: node %s: %w", ns.ID, serr)
+		}
+		broker := mgmt.NewBroker(mgmt.Env{Node: ns.ID, Store: store, Server: srv})
+		brokerAddr, serr := broker.Start("127.0.0.1:0")
+		if serr != nil {
+			return nil, fmt.Errorf("core: broker %s: %w", ns.ID, serr)
+		}
+		spec.Nodes[i].Addr = addr
+		c.Nodes[ns.ID] = &NodeHandle{
+			Spec:       spec.Nodes[i],
+			Server:     srv,
+			Broker:     broker,
+			Store:      store,
+			Addr:       addr,
+			BrokerAddr: brokerAddr,
+		}
+		if cerr := c.Controller.AddNode(ns.ID, brokerAddr); cerr != nil {
+			return nil, fmt.Errorf("core: %w", cerr)
+		}
+	}
+	c.Spec = spec
+
+	dist, derr := distributor.New(distributor.Options{
+		Table:          c.Table,
+		Cluster:        spec,
+		Picker:         opts.Picker,
+		PreforkPerNode: opts.PreforkPerNode,
+	})
+	if derr != nil {
+		return nil, fmt.Errorf("core: %w", derr)
+	}
+	c.Distributor = dist
+	front, derr := dist.Start("127.0.0.1:0")
+	if derr != nil {
+		return nil, fmt.Errorf("core: %w", derr)
+	}
+	c.FrontAddr = front
+
+	balOpts := opts.BalanceOptions
+	if balOpts == (loadbal.PlannerOptions{}) {
+		balOpts = loadbal.DefaultPlannerOptions()
+	}
+	c.Balancer = mgmt.NewAutoBalancer(c.Controller, dist.Tracker(), spec.Nodes, balOpts, opts.BalanceInterval)
+	c.Balancer.SetOnLoads(dist.UpdateLoads)
+	if opts.BalanceInterval > 0 {
+		c.Balancer.Start()
+	}
+
+	if opts.ConsoleAddr != "" {
+		c.Console = mgmt.NewConsoleServer(c.Controller, c.Balancer)
+		c.Console.SetSiteLoader(c.consoleSiteLoader)
+		caddr, cerr := c.Console.Start(opts.ConsoleAddr)
+		if cerr != nil {
+			return nil, fmt.Errorf("core: %w", cerr)
+		}
+		c.ConsoleAddr = caddr
+	}
+
+	if opts.MonitorInterval > 0 {
+		nodeNames := make([]string, 0, len(spec.Nodes))
+		for _, n := range spec.Nodes {
+			nodeNames = append(nodeNames, string(n.ID))
+		}
+		prober := func(node string) (monitor.NodeStatus, error) {
+			return c.Controller.Status(config.NodeID(node))
+		}
+		c.Monitor = monitor.NewWatcher(nodeNames, prober, opts.MonitorInterval,
+			func(ev monitor.Event) {
+				c.Distributor.SetAvailable(config.NodeID(ev.Node), ev.Up)
+			})
+		c.Monitor.Start()
+	}
+	return c, nil
+}
+
+// registerDefaultDynamic installs synthetic CGI/ASP handlers matching the
+// path conventions of the generated sites: the response embeds the node ID
+// and query, and the reported CPU cost drives the load metric.
+func registerDefaultDynamic(srv *backend.Server, ns config.NodeSpec) {
+	handler := func(kind string) backend.DynamicHandler {
+		return func(req *httpx.Request) ([]byte, float64, error) {
+			body := fmt.Sprintf("<html>%s output from %s for %s q=%s</html>\n",
+				kind, ns.ID, req.Path, req.Query)
+			return []byte(body), 1.0, nil
+		}
+	}
+	srv.HandlePrefix("/cgi-bin/", handler("cgi"))
+	srv.HandlePrefix("/asp/", handler("asp"))
+}
+
+// PlaceSite loads a site through the controller using the placement
+// policy, so every object is stored on its nodes (via store-file agents)
+// and registered in the URL table.
+func (c *Cluster) PlaceSite(site *content.Site, place PlacementFunc) error {
+	if place == nil {
+		place = PlaceAll
+	}
+	for _, obj := range site.Objects() {
+		nodes := place(obj, c.Spec)
+		if len(nodes) == 0 {
+			return fmt.Errorf("core: placement returned no nodes for %s", obj.Path)
+		}
+		var data []byte
+		if !obj.Class.Dynamic() {
+			data = backend.SynthesizeBody(obj.Path, obj.Size)
+		} else {
+			// Dynamic objects need a placeholder file (the "script")
+			// so stores and agents can manage them; the registered
+			// handlers produce the responses.
+			data = []byte("#!script " + obj.Path + "\n")
+		}
+		if err := c.Controller.Insert(obj, data, nodes...); err != nil {
+			return fmt.Errorf("core: placing %s: %w", obj.Path, err)
+		}
+	}
+	return nil
+}
+
+// consoleSiteLoader backs the console's loadsite command.
+func (c *Cluster) consoleSiteLoader(req mgmt.ConsoleRequest) (string, error) {
+	objects := req.Objects
+	if objects <= 0 {
+		objects = 500
+	}
+	kind := workload.KindA
+	if req.Workload == "B" || req.Workload == "b" {
+		kind = workload.KindB
+	}
+	site, err := workload.BuildSite(kind, objects, req.Seed+1)
+	if err != nil {
+		return "", err
+	}
+	var place PlacementFunc
+	switch req.Policy {
+	case "", "type":
+		place = PlaceByType()
+	case "all":
+		place = PlaceAll
+	case "rr":
+		place = NewPlaceRoundRobin().Place
+	default:
+		return "", fmt.Errorf("core: unknown policy %q", req.Policy)
+	}
+	if err := c.PlaceSite(site, place); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("placed %d objects (workload %s, policy %s)",
+		site.Len(), kind, req.Policy), nil
+}
+
+// Get issues one HTTP/1.1 request through the front end — the quickstart
+// helper for demos and tests.
+func (c *Cluster) Get(path string) (*httpx.Response, error) {
+	conn, err := net.Dial("tcp", c.FrontAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dialing front end: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+	req := &httpx.Request{
+		Method: "GET",
+		Target: path,
+		Path:   path,
+		Proto:  httpx.Proto11,
+		Header: httpx.Header{"Host": "cluster", "Connection": "close"},
+	}
+	if err := httpx.WriteRequest(conn, req); err != nil {
+		return nil, fmt.Errorf("core: sending request: %w", err)
+	}
+	resp, err := httpx.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading response: %w", err)
+	}
+	return resp, nil
+}
+
+// Close shuts every component down, last-started first.
+func (c *Cluster) Close() error {
+	var errs []error
+	if c.Monitor != nil {
+		c.Monitor.Close()
+	}
+	if c.Console != nil {
+		errs = append(errs, c.Console.Close())
+	}
+	if c.Balancer != nil {
+		c.Balancer.Close()
+	}
+	if c.Distributor != nil {
+		errs = append(errs, c.Distributor.Close())
+	}
+	for _, nh := range c.Nodes {
+		if nh.Broker != nil {
+			errs = append(errs, nh.Broker.Close())
+		}
+		if nh.Server != nil {
+			errs = append(errs, nh.Server.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Summary formats a short status block for demos.
+func (c *Cluster) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "front end: %s\n", c.FrontAddr)
+	fmt.Fprintf(&b, "URL table: %d entries, %d KB\n", c.Table.Len(), c.Table.MemoryBytes()/1024)
+	for _, id := range c.Controller.Nodes() {
+		nh := c.Nodes[id]
+		if nh == nil {
+			continue
+		}
+		st := nh.Server.PageCacheStats()
+		fmt.Fprintf(&b, "node %-8s %4d MHz %4d MB  store %5d objs  cache hit %5.1f%%\n",
+			id, nh.Spec.CPUMHz, nh.Spec.MemoryMB,
+			len(nh.Store.List()), 100*st.HitRate())
+	}
+	return b.String()
+}

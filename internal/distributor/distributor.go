@@ -1,0 +1,542 @@
+// Package distributor implements the paper's content-aware distributor
+// (§2.2): the layer-7 front end that completes the client's TCP handshake,
+// reads the HTTP request, consults the URL table for the nodes holding the
+// requested content, binds the client connection to a pre-forked
+// persistent back-end connection, and relays the exchange. It also hosts
+// the primary/backup fault-tolerance mechanism (§2.3).
+package distributor
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webcluster/internal/trace"
+
+	"webcluster/internal/config"
+	"webcluster/internal/conntrack"
+	"webcluster/internal/content"
+	"webcluster/internal/httpx"
+	"webcluster/internal/loadbal"
+	"webcluster/internal/metrics"
+	"webcluster/internal/urltable"
+)
+
+// Errors.
+var (
+	// ErrNoBackend reports content whose replica set is empty or whose
+	// nodes are all unknown.
+	ErrNoBackend = errors.New("distributor: no backend for content")
+)
+
+// Options configures a distributor.
+type Options struct {
+	// Table is the URL table to route by. Required.
+	Table *urltable.Table
+	// Cluster describes the back-end nodes; node Addr fields must be
+	// set. Required.
+	Cluster config.ClusterSpec
+	// Picker selects among a content's replicas; defaults to
+	// WeightedLeastConn over the candidate replicas.
+	Picker loadbal.Picker
+	// PreforkPerNode is the number of persistent connections opened to
+	// each node up front (§2.2); default 4.
+	PreforkPerNode int
+	// MaxConnsPerNode caps concurrent back-end connections per node;
+	// default 64.
+	MaxConnsPerNode int
+	// Weights configures the §3.3 load-metric constants; zero value
+	// means the paper's constants.
+	Weights loadbal.CostWeights
+	// AccessLog, when non-nil, receives one Common Log Format line per
+	// completed request (the distributor sees every request, so this is
+	// the natural place to record the site's traffic for later replay).
+	AccessLog io.Writer
+}
+
+// Distributor is the content-aware front end. Construct with New.
+type Distributor struct {
+	table   *urltable.Table
+	cluster config.ClusterSpec
+	picker  loadbal.Picker
+	pool    *conntrack.Pool
+	mapping *conntrack.MappingTable
+	tracker *loadbal.Tracker
+
+	active map[config.NodeID]*atomic.Int64
+	// down marks nodes the monitor has declared failed; pickReplica
+	// skips them so clients never wait on a dead back end.
+	down sync.Map // config.NodeID → bool
+	// loads holds the latest interval L_j per node for load-aware
+	// pickers (loadbal.LeastLoad).
+	loads sync.Map // config.NodeID → float64
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+
+	stats   metrics.Registry
+	routed  atomic.Int64
+	noRoute atomic.Int64
+	relayNs atomic.Int64 // summed relay overhead (routing decision time)
+
+	logMu     sync.Mutex
+	accessLog io.Writer
+}
+
+// New constructs a distributor. It does not open connections; call Start
+// (which pre-forks) or Prefork explicitly.
+func New(opts Options) (*Distributor, error) {
+	if opts.Table == nil {
+		return nil, errors.New("distributor: nil URL table")
+	}
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("distributor: %w", err)
+	}
+	for _, n := range opts.Cluster.Nodes {
+		if n.Addr == "" {
+			return nil, fmt.Errorf("distributor: node %s has no address", n.ID)
+		}
+	}
+	picker := opts.Picker
+	if picker == nil {
+		picker = loadbal.WeightedLeastConn{}
+	}
+	prefork := opts.PreforkPerNode
+	if prefork <= 0 {
+		prefork = 4
+	}
+	maxConns := opts.MaxConnsPerNode
+	if maxConns <= 0 {
+		maxConns = 64
+	}
+	weights := opts.Weights
+	if weights == (loadbal.CostWeights{}) {
+		weights = loadbal.PaperWeights()
+	}
+	d := &Distributor{
+		table:     opts.Table,
+		cluster:   opts.Cluster,
+		picker:    picker,
+		mapping:   conntrack.NewMappingTable(),
+		tracker:   loadbal.NewTracker(weights),
+		active:    make(map[config.NodeID]*atomic.Int64, len(opts.Cluster.Nodes)),
+		conns:     make(map[net.Conn]struct{}),
+		closed:    make(chan struct{}),
+		accessLog: opts.AccessLog,
+	}
+	addrs := make(map[config.NodeID]string, len(opts.Cluster.Nodes))
+	for _, n := range opts.Cluster.Nodes {
+		addrs[n.ID] = n.Addr
+		d.active[n.ID] = &atomic.Int64{}
+	}
+	d.pool = conntrack.NewPool(func(node config.NodeID) (net.Conn, error) {
+		addr, ok := addrs[node]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown node %s", ErrNoBackend, node)
+		}
+		return net.Dial("tcp", addr)
+	}, prefork, maxConns)
+	return d, nil
+}
+
+// Table returns the routing table (the controller mutates it through
+// management operations).
+func (d *Distributor) Table() *urltable.Table { return d.table }
+
+// Tracker returns the §3.3 load tracker fed by completed requests.
+func (d *Distributor) Tracker() *loadbal.Tracker { return d.tracker }
+
+// Mapping returns the connection mapping table.
+func (d *Distributor) Mapping() *conntrack.MappingTable { return d.mapping }
+
+// Cluster returns the node specifications.
+func (d *Distributor) Cluster() config.ClusterSpec { return d.cluster }
+
+// Stats returns per-class statistics observed at the front end.
+func (d *Distributor) Stats() *metrics.Registry { return &d.stats }
+
+// Routed returns the number of successfully routed requests.
+func (d *Distributor) Routed() int64 { return d.routed.Load() }
+
+// NoRoute returns the number of requests with no routable backend.
+func (d *Distributor) NoRoute() int64 { return d.noRoute.Load() }
+
+// MeanRouteOverhead returns the average time spent making routing
+// decisions (URL-table lookup + replica pick), the §5.2 overhead quantity.
+func (d *Distributor) MeanRouteOverhead() time.Duration {
+	n := d.routed.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(d.relayNs.Load() / n)
+}
+
+// Start pre-forks connections to every node, then listens on addr (":0"
+// for ephemeral) and serves in the background, returning the bound address.
+func (d *Distributor) Start(addr string) (string, error) {
+	if err := d.pool.Prefork(d.cluster.NodeIDs()); err != nil {
+		return "", fmt.Errorf("distributor: prefork: %w", err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("distributor: listen: %w", err)
+	}
+	d.mu.Lock()
+	d.listener = l
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.acceptLoop(l)
+	}()
+	return l.Addr().String(), nil
+}
+
+// acceptLoop accepts client connections until Close.
+func (d *Distributor) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		d.mu.Lock()
+		select {
+		case <-d.closed:
+			d.mu.Unlock()
+			_ = conn.Close()
+			return
+		default:
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer func() {
+				_ = conn.Close()
+				d.mu.Lock()
+				delete(d.conns, conn)
+				d.mu.Unlock()
+			}()
+			d.serveClient(conn)
+		}()
+	}
+}
+
+// clientKey derives the mapping-table key from the connection's remote
+// address.
+func clientKey(conn net.Conn) conntrack.ClientKey {
+	host, portStr, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conntrack.ClientKey{IP: conn.RemoteAddr().String()}
+	}
+	port, _ := strconv.Atoi(portStr)
+	return conntrack.ClientKey{IP: host, Port: port}
+}
+
+// serveClient runs the §2.2 lifecycle for one client connection: install a
+// mapping entry at "SYN" (accept), walk the state machine through request
+// binding and teardown, and release pre-forked connections after each
+// relayed exchange.
+func (d *Distributor) serveClient(client net.Conn) {
+	key := clientKey(client)
+	// The accept completing stands in for the SYN/ACK exchange; Go hands
+	// us the connection post-handshake, so install then mark established.
+	if _, err := d.mapping.Install(key, 0, 0); err != nil {
+		return
+	}
+	if _, err := d.mapping.Advance(key, conntrack.EventHandshakeDone); err != nil {
+		return
+	}
+	reset := func() { _, _ = d.mapping.Advance(key, conntrack.EventReset) }
+
+	br := bufio.NewReader(client)
+	for {
+		req, err := httpx.ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Client FIN with no request in flight: run teardown.
+				if _, err := d.mapping.Advance(key, conntrack.EventClientFin); err == nil {
+					_, _ = d.mapping.Advance(key, conntrack.EventFinAcked)
+					_, _ = d.mapping.Advance(key, conntrack.EventLastAck)
+				}
+				return
+			}
+			resp := httpx.NewResponse(httpx.Proto10, 400, []byte("bad request\n"))
+			_ = httpx.WriteResponse(client, resp)
+			reset()
+			return
+		}
+		if !d.relayRequest(client, key, req) {
+			reset()
+			return
+		}
+		if !req.KeepAlive() {
+			// HTTP/1.0 close: distributor sets FIN toward the client
+			// after the last relayed packet (§2.2).
+			if _, err := d.mapping.Advance(key, conntrack.EventClientFin); err == nil {
+				_, _ = d.mapping.Advance(key, conntrack.EventFinAcked)
+				_, _ = d.mapping.Advance(key, conntrack.EventLastAck)
+			}
+			return
+		}
+	}
+}
+
+// relayRequest routes one parsed request and relays the response. It
+// reports whether the client connection remains usable.
+func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req *httpx.Request) bool {
+	start := time.Now()
+	rec, err := d.table.Route(req.Path)
+	if err != nil {
+		d.noRoute.Add(1)
+		resp := httpx.NewResponse(req.Proto, 404, []byte("no route: "+req.Path+"\n"))
+		d.logAccess(key, req, 404, len(resp.Body))
+		return httpx.WriteResponse(client, resp) == nil && req.KeepAlive()
+	}
+	node, err := d.pickReplica(rec, "")
+	routeCost := time.Since(start)
+	if err != nil {
+		d.noRoute.Add(1)
+		resp := httpx.NewResponse(req.Proto, 503, []byte("no backend available\n"))
+		d.logAccess(key, req, 503, len(resp.Body))
+		return httpx.WriteResponse(client, resp) == nil && req.KeepAlive()
+	}
+	if err := d.mapping.Bind(key, node); err != nil {
+		return false
+	}
+	if _, err := d.mapping.Advance(key, conntrack.EventRequestBound); err != nil {
+		return false
+	}
+
+	counter := d.active[node]
+	counter.Add(1)
+	resp, err := d.exchange(node, req)
+	counter.Add(-1)
+	if err != nil {
+		// The chosen back end failed mid-exchange: fail over to another
+		// replica once before giving up (the request was idempotent up
+		// to here — nothing has been written to the client).
+		if alt, altErr := d.pickReplica(rec, node); altErr == nil {
+			if bindErr := d.mapping.Bind(key, alt); bindErr != nil {
+				return false
+			}
+			altCounter := d.active[alt]
+			altCounter.Add(1)
+			resp, err = d.exchange(alt, req)
+			altCounter.Add(-1)
+			node = alt
+		}
+	}
+
+	procTime := time.Since(start)
+	if err != nil {
+		out := httpx.NewResponse(req.Proto, 502, []byte("backend error\n"))
+		d.logAccess(key, req, 502, len(out.Body))
+		_ = httpx.WriteResponse(client, out)
+		return false
+	}
+	d.routed.Add(1)
+	d.relayNs.Add(int64(routeCost))
+	d.logAccess(key, req, resp.StatusCode, len(resp.Body))
+	class := content.Classify(req.Path)
+	d.tracker.Record(node, class, procTime)
+	cs := d.stats.Class(class.String())
+	cs.Requests.Inc()
+	cs.Bytes.Add(int64(len(resp.Body)))
+	cs.Latency.Observe(procTime)
+	if resp.StatusCode >= 400 {
+		cs.Errors.Inc()
+	}
+
+	// Relay the response out on the client's protocol version.
+	out := &httpx.Response{
+		Proto:      req.Proto,
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		Header:     resp.Header.Clone(),
+		Body:       resp.Body,
+	}
+	if !req.KeepAlive() {
+		out.Header.Set("Connection", "close")
+	} else {
+		out.Header.Del("Connection")
+	}
+	if err := httpx.WriteResponse(client, out); err != nil {
+		return false
+	}
+	if _, err := d.mapping.Advance(key, conntrack.EventRequestDone); err != nil {
+		return false
+	}
+	return true
+}
+
+// exchange sends req over a pre-forked connection to node and reads the
+// response, retrying once on a stale pooled connection.
+func (d *Distributor) exchange(node config.NodeID, req *httpx.Request) (*httpx.Response, error) {
+	// Toward the back end the distributor always speaks HTTP/1.1
+	// keep-alive so the pre-forked connection survives the exchange.
+	fwd := &httpx.Request{
+		Method: req.Method,
+		Target: req.Target,
+		Path:   req.Path,
+		Query:  req.Query,
+		Proto:  httpx.Proto11,
+		Header: req.Header.Clone(),
+		Body:   req.Body,
+	}
+	fwd.Header.Del("Connection")
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := d.pool.Acquire(node)
+		if err != nil {
+			return nil, fmt.Errorf("acquiring connection to %s: %w", node, err)
+		}
+		if err := httpx.WriteRequest(pc.Conn, fwd); err != nil {
+			d.pool.Discard(pc)
+			lastErr = fmt.Errorf("forwarding to %s: %w", node, err)
+			continue
+		}
+		resp, err := httpx.ReadResponse(pc.Reader)
+		if err != nil {
+			d.pool.Discard(pc)
+			lastErr = fmt.Errorf("reading from %s: %w", node, err)
+			continue
+		}
+		if resp.KeepAlive() {
+			d.pool.Release(pc)
+		} else {
+			d.pool.Discard(pc)
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// logAccess appends one CLF line to the access log, if configured.
+func (d *Distributor) logAccess(key conntrack.ClientKey, req *httpx.Request, status int, respBytes int) {
+	if d.accessLog == nil {
+		return
+	}
+	entry := trace.Entry{
+		ClientIP: key.IP,
+		Time:     time.Now(),
+		Method:   req.Method,
+		Path:     req.Target,
+		Proto:    req.Proto,
+		Status:   status,
+		Bytes:    int64(respBytes),
+	}
+	d.logMu.Lock()
+	defer d.logMu.Unlock()
+	_, _ = fmt.Fprintln(d.accessLog, entry.String())
+}
+
+// SetAvailable marks a node up or down for routing. The monitor calls
+// this on liveness transitions; content on a down node is served from its
+// other replicas until the node recovers.
+func (d *Distributor) SetAvailable(node config.NodeID, up bool) {
+	if up {
+		d.down.Delete(node)
+	} else {
+		d.down.Store(node, true)
+	}
+}
+
+// Available reports whether node is currently routable.
+func (d *Distributor) Available(node config.NodeID) bool {
+	_, isDown := d.down.Load(node)
+	return !isDown
+}
+
+// UpdateLoads publishes the latest per-node §3.3 load indices for
+// load-aware replica selection. The auto-balancer calls this at each
+// interval boundary.
+func (d *Distributor) UpdateLoads(loads map[config.NodeID]float64) {
+	for id, l := range loads {
+		d.loads.Store(id, l)
+	}
+}
+
+// nodeLoad returns the last published L_j for node (0 before the first
+// interval closes).
+func (d *Distributor) nodeLoad(node config.NodeID) float64 {
+	v, ok := d.loads.Load(node)
+	if !ok {
+		return 0
+	}
+	l, ok := v.(float64)
+	if !ok {
+		return 0
+	}
+	return l
+}
+
+// pickReplica chooses among the available nodes holding rec, excluding
+// exclude (a node that just failed an exchange for this request).
+func (d *Distributor) pickReplica(rec urltable.Record, exclude config.NodeID) (config.NodeID, error) {
+	candidates := make([]loadbal.NodeState, 0, len(rec.Locations))
+	for _, id := range rec.Locations {
+		if id == exclude || !d.Available(id) {
+			continue
+		}
+		spec, ok := d.cluster.Node(id)
+		if !ok {
+			continue
+		}
+		counter := d.active[id]
+		if counter == nil {
+			continue
+		}
+		candidates = append(candidates, loadbal.NodeState{
+			ID:     id,
+			Weight: spec.EffectiveWeight(),
+			Active: counter.Load(),
+			Load:   d.nodeLoad(id),
+		})
+	}
+	if len(candidates) == 0 {
+		return "", fmt.Errorf("%w: %s", ErrNoBackend, rec.Path)
+	}
+	return d.picker.Pick(candidates)
+}
+
+// ActiveRequests returns in-flight requests bound to node.
+func (d *Distributor) ActiveRequests(node config.NodeID) int64 {
+	c, ok := d.active[node]
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Close stops the listener, closes all client connections and the
+// connection pool, and joins every goroutine.
+func (d *Distributor) Close() error {
+	var errs []error
+	d.closeOne.Do(func() {
+		close(d.closed)
+		d.mu.Lock()
+		if d.listener != nil {
+			errs = append(errs, d.listener.Close())
+		}
+		for conn := range d.conns {
+			_ = conn.Close()
+		}
+		d.mu.Unlock()
+	})
+	d.wg.Wait()
+	errs = append(errs, d.pool.Close())
+	return errors.Join(errs...)
+}

@@ -1,0 +1,370 @@
+// Package httpx implements the small slice of HTTP/1.0 and HTTP/1.1 the
+// system needs: request parsing, response framing and keep-alive semantics.
+//
+// The content-aware distributor must see the request line before it can
+// route (§2.2), and it reuses pre-forked persistent connections (HTTP/1.1
+// keep-alive) toward the back ends, so the library controls message framing
+// itself instead of delegating to net/http's transport pooling, whose
+// connection management would hide exactly the mechanism the paper builds.
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Protocol versions understood by the parser.
+const (
+	Proto10 = "HTTP/1.0"
+	Proto11 = "HTTP/1.1"
+)
+
+// Errors returned by the parser.
+var (
+	// ErrMalformedRequest reports an unparsable request line or header.
+	ErrMalformedRequest = errors.New("httpx: malformed request")
+	// ErrUnsupportedProto reports an HTTP version other than 1.0/1.1.
+	ErrUnsupportedProto = errors.New("httpx: unsupported protocol version")
+	// ErrHeaderTooLarge reports a header section beyond the size limit.
+	ErrHeaderTooLarge = errors.New("httpx: header section too large")
+)
+
+// maxHeaderLines bounds the header section to keep a malicious client from
+// holding distributor memory hostage.
+const maxHeaderLines = 128
+
+// Header is a case-insensitive single-valued header map. Keys are stored
+// canonicalized by textproto rules (Content-Length, Host, ...).
+type Header map[string]string
+
+// CanonicalKey normalizes a header name: first letter and letters after '-'
+// upper-cased, the rest lower-cased.
+func CanonicalKey(k string) string {
+	b := []byte(k)
+	upper := true
+	for i, c := range b {
+		if upper && 'a' <= c && c <= 'z' {
+			b[i] = c - ('a' - 'A')
+		} else if !upper && 'A' <= c && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}
+
+// Get returns the value for key, canonicalizing the lookup.
+func (h Header) Get(key string) string { return h[CanonicalKey(key)] }
+
+// Set stores value under the canonicalized key.
+func (h Header) Set(key, value string) { h[CanonicalKey(key)] = value }
+
+// Del removes the canonicalized key.
+func (h Header) Del(key string) { delete(h, CanonicalKey(key)) }
+
+// Clone returns a deep copy of the header map.
+func (h Header) Clone() Header {
+	out := make(Header, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// writeSorted emits headers in sorted key order for deterministic output.
+func (h Header) writeSorted(w *bufio.Writer) error {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s: %s\r\n", k, h[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method string
+	// Target is the request-target as sent (path plus optional query).
+	Target string
+	// Path is Target with any query string removed.
+	Path string
+	// Query is the raw query string (no leading '?'), empty if none.
+	Query  string
+	Proto  string
+	Header Header
+	// Body holds the request body when Content-Length was present.
+	Body []byte
+}
+
+// KeepAlive reports whether the connection should persist after this
+// request under HTTP/1.0 ("Connection: keep-alive" opt-in) or HTTP/1.1
+// ("Connection: close" opt-out) rules.
+func (r *Request) KeepAlive() bool {
+	conn := strings.ToLower(r.Header.Get("Connection"))
+	switch r.Proto {
+	case Proto11:
+		return conn != "close"
+	case Proto10:
+		return conn == "keep-alive"
+	default:
+		return false
+	}
+}
+
+// IsDynamic reports whether the request targets executable content by the
+// path conventions the paper's workloads use (CGI scripts and ASP pages).
+func (r *Request) IsDynamic() bool {
+	return strings.Contains(r.Path, "/cgi-bin/") ||
+		strings.HasSuffix(r.Path, ".cgi") ||
+		strings.HasSuffix(r.Path, ".asp")
+}
+
+// ReadRequest parses one request from br. io.EOF is returned unwrapped when
+// the connection closes cleanly before any byte of a new request.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("reading request line: %w", err)
+	}
+	method, rest, ok1 := strings.Cut(line, " ")
+	target, proto, ok2 := strings.Cut(rest, " ")
+	if !ok1 || !ok2 || method == "" || target == "" {
+		return nil, fmt.Errorf("%w: %q", ErrMalformedRequest, line)
+	}
+	if proto != Proto10 && proto != Proto11 {
+		return nil, fmt.Errorf("%w: %q", ErrUnsupportedProto, proto)
+	}
+	req := &Request{
+		Method: method,
+		Target: target,
+		Proto:  proto,
+		Header: make(Header, 8),
+	}
+	req.Path, req.Query, _ = strings.Cut(target, "?")
+
+	for i := 0; ; i++ {
+		if i >= maxHeaderLines {
+			return nil, ErrHeaderTooLarge
+		}
+		line, err := readLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading header: %w", err)
+		}
+		if line == "" {
+			break
+		}
+		key, value, ok := strings.Cut(line, ":")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
+		}
+		req.Header.Set(key, strings.TrimSpace(value))
+	}
+
+	if cl := req.Header.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: content-length %q", ErrMalformedRequest, cl)
+		}
+		req.Body = make([]byte, n)
+		if _, err := io.ReadFull(br, req.Body); err != nil {
+			return nil, fmt.Errorf("reading body: %w", err)
+		}
+	}
+	return req, nil
+}
+
+// WriteRequest serializes req to w in wire format.
+func WriteRequest(w io.Writer, req *Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %s %s\r\n", req.Method, req.Target, req.Proto); err != nil {
+		return fmt.Errorf("writing request line: %w", err)
+	}
+	hdr := req.Header
+	if len(req.Body) > 0 {
+		hdr = hdr.Clone()
+		hdr.Set("Content-Length", strconv.Itoa(len(req.Body)))
+	}
+	if err := hdr.writeSorted(bw); err != nil {
+		return fmt.Errorf("writing headers: %w", err)
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return fmt.Errorf("writing header terminator: %w", err)
+	}
+	if len(req.Body) > 0 {
+		if _, err := bw.Write(req.Body); err != nil {
+			return fmt.Errorf("writing body: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flushing request: %w", err)
+	}
+	return nil
+}
+
+// Response is a parsed or to-be-written HTTP response.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string // reason phrase; derived from StatusCode when empty
+	Header     Header
+	Body       []byte
+}
+
+// statusText maps the status codes this system emits to reason phrases.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+// KeepAlive reports whether the connection persists after this response,
+// by the same version-dependent rules as Request.KeepAlive.
+func (r *Response) KeepAlive() bool {
+	conn := strings.ToLower(r.Header.Get("Connection"))
+	switch r.Proto {
+	case Proto11:
+		return conn != "close"
+	case Proto10:
+		return conn == "keep-alive"
+	default:
+		return false
+	}
+}
+
+// NewResponse builds a response with the given status and body, framed with
+// a Content-Length so it can be carried on a persistent connection.
+func NewResponse(proto string, code int, body []byte) *Response {
+	resp := &Response{
+		Proto:      proto,
+		StatusCode: code,
+		Header:     make(Header, 4),
+		Body:       body,
+	}
+	resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	return resp
+}
+
+// WriteResponse serializes resp to w, forcing a correct Content-Length.
+func WriteResponse(w io.Writer, resp *Response) error {
+	bw := bufio.NewWriter(w)
+	status := resp.Status
+	if status == "" {
+		status = statusText(resp.StatusCode)
+	}
+	if _, err := fmt.Fprintf(bw, "%s %d %s\r\n", resp.Proto, resp.StatusCode, status); err != nil {
+		return fmt.Errorf("writing status line: %w", err)
+	}
+	hdr := resp.Header
+	if hdr == nil {
+		hdr = make(Header, 1)
+	} else {
+		hdr = hdr.Clone()
+	}
+	hdr.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	if err := hdr.writeSorted(bw); err != nil {
+		return fmt.Errorf("writing headers: %w", err)
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return fmt.Errorf("writing header terminator: %w", err)
+	}
+	if _, err := bw.Write(resp.Body); err != nil {
+		return fmt.Errorf("writing body: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flushing response: %w", err)
+	}
+	return nil
+}
+
+// ReadResponse parses one response from br, requiring Content-Length
+// framing (the only framing this system's servers emit).
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("reading status line: %w", err)
+	}
+	proto, rest, ok := strings.Cut(line, " ")
+	if !ok || (proto != Proto10 && proto != Proto11) {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformedRequest, line)
+	}
+	codeStr, status, _ := strings.Cut(rest, " ")
+	code, err := strconv.Atoi(codeStr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformedRequest, codeStr)
+	}
+	resp := &Response{
+		Proto:      proto,
+		StatusCode: code,
+		Status:     status,
+		Header:     make(Header, 8),
+	}
+	for i := 0; ; i++ {
+		if i >= maxHeaderLines {
+			return nil, ErrHeaderTooLarge
+		}
+		line, err := readLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading header: %w", err)
+		}
+		if line == "" {
+			break
+		}
+		key, value, ok := strings.Cut(line, ":")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
+		}
+		resp.Header.Set(key, strings.TrimSpace(value))
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: content-length %q", ErrMalformedRequest, cl)
+		}
+		resp.Body = make([]byte, n)
+		if _, err := io.ReadFull(br, resp.Body); err != nil {
+			return nil, fmt.Errorf("reading body: %w", err)
+		}
+	}
+	return resp, nil
+}
+
+// readLine reads a CRLF- or LF-terminated line, returning it without the
+// terminator.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return line, err
+	}
+	line = strings.TrimSuffix(line, "\n")
+	line = strings.TrimSuffix(line, "\r")
+	return line, nil
+}

@@ -1,0 +1,223 @@
+// Package l4router implements the paper's baseline front end (the authors'
+// prior work [2]): a content-blind layer-4 TCP connection router. It picks
+// a back end at connection-establishment time — before any HTTP bytes
+// arrive — and splices the two TCP streams. Because the choice happens
+// before the URL is visible, every back end must be able to serve every
+// object, which is why this front end only works with full replication or
+// a shared file system (§2.1, §5.3 configurations 1 and 2).
+package l4router
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"webcluster/internal/config"
+	"webcluster/internal/loadbal"
+)
+
+// Backend is one routable node: identity, static weight, dial address.
+type Backend struct {
+	ID     config.NodeID
+	Weight float64
+	Addr   string
+}
+
+// Router is the L4 front end. Construct with New.
+type Router struct {
+	picker loadbal.Picker
+
+	mu       sync.Mutex
+	backends []Backend
+	active   map[config.NodeID]*atomic.Int64
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+
+	routed atomic.Int64
+	failed atomic.Int64
+}
+
+// New returns a router over backends using picker (the paper's baseline
+// uses Weighted Least Connection).
+func New(picker loadbal.Picker, backends []Backend) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("l4router: no backends")
+	}
+	if picker == nil {
+		picker = loadbal.WeightedLeastConn{}
+	}
+	r := &Router{
+		picker:   picker,
+		backends: append([]Backend(nil), backends...),
+		active:   make(map[config.NodeID]*atomic.Int64, len(backends)),
+		conns:    make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	for _, b := range backends {
+		if b.Addr == "" {
+			return nil, fmt.Errorf("l4router: backend %s has no address", b.ID)
+		}
+		r.active[b.ID] = &atomic.Int64{}
+	}
+	return r, nil
+}
+
+// Start listens on addr (":0" for ephemeral) and proxies in the
+// background, returning the bound address.
+func (r *Router) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("l4router: listen: %w", err)
+	}
+	r.mu.Lock()
+	r.listener = l
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.acceptLoop(l)
+	}()
+	return l.Addr().String(), nil
+}
+
+// acceptLoop proxies until Close.
+func (r *Router) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.proxy(conn)
+		}()
+	}
+}
+
+// pick chooses a back end for a new connection.
+func (r *Router) pick() (Backend, error) {
+	r.mu.Lock()
+	states := make([]loadbal.NodeState, len(r.backends))
+	for i, b := range r.backends {
+		states[i] = loadbal.NodeState{
+			ID:     b.ID,
+			Weight: b.Weight,
+			Active: r.active[b.ID].Load(),
+		}
+	}
+	backends := r.backends
+	r.mu.Unlock()
+
+	id, err := r.picker.Pick(states)
+	if err != nil {
+		return Backend{}, err
+	}
+	for _, b := range backends {
+		if b.ID == id {
+			return b, nil
+		}
+	}
+	return Backend{}, fmt.Errorf("l4router: picker chose unknown node %s", id)
+}
+
+// proxy splices one client connection to one freshly dialed back-end
+// connection — the layer-4 semantics: one back-end connection per client
+// connection, no reuse, no request inspection.
+func (r *Router) proxy(client net.Conn) {
+	defer func() { _ = client.Close() }()
+
+	backend, err := r.pick()
+	if err != nil {
+		r.failed.Add(1)
+		return
+	}
+	server, err := net.Dial("tcp", backend.Addr)
+	if err != nil {
+		r.failed.Add(1)
+		return
+	}
+	defer func() { _ = server.Close() }()
+
+	r.mu.Lock()
+	select {
+	case <-r.closed:
+		r.mu.Unlock()
+		return
+	default:
+	}
+	r.conns[client] = struct{}{}
+	r.conns[server] = struct{}{}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, client)
+		delete(r.conns, server)
+		r.mu.Unlock()
+	}()
+
+	counter := r.active[backend.ID]
+	counter.Add(1)
+	defer counter.Add(-1)
+	r.routed.Add(1)
+
+	// Bidirectional splice; each direction half-closes when its source
+	// reaches EOF, mirroring TCP FIN propagation through a L4 device.
+	done := make(chan struct{}, 2)
+	go func() {
+		_, _ = io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		_, _ = io.Copy(client, server)
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// Active returns the instantaneous connection count for node.
+func (r *Router) Active(node config.NodeID) int64 {
+	c, ok := r.active[node]
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Routed returns the lifetime count of proxied connections.
+func (r *Router) Routed() int64 { return r.routed.Load() }
+
+// Failed returns the lifetime count of connections that could not be
+// proxied.
+func (r *Router) Failed() int64 { return r.failed.Load() }
+
+// Close stops the router and joins all goroutines.
+func (r *Router) Close() error {
+	var err error
+	r.closeOne.Do(func() {
+		close(r.closed)
+		r.mu.Lock()
+		if r.listener != nil {
+			err = r.listener.Close()
+		}
+		for conn := range r.conns {
+			_ = conn.Close()
+		}
+		r.mu.Unlock()
+	})
+	r.wg.Wait()
+	return err
+}

@@ -1,0 +1,182 @@
+package loadbal
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+)
+
+// The §3.3 cost constants: "for a request to the static content, loadCPU is
+// set to one and loadDisk to nine, since disk activity is the dominant
+// factor; for the request to a dynamic content, loadCPU is set to ten and
+// loadDisk to five."
+const (
+	StaticCPUWeight   = 1
+	StaticDiskWeight  = 9
+	DynamicCPUWeight  = 10
+	DynamicDiskWeight = 5
+)
+
+// CostWeights parameterizes the per-request cost constants so the
+// ablation benchmark can compare the paper's heuristic against uniform
+// weighting.
+type CostWeights struct {
+	StaticCPU   float64
+	StaticDisk  float64
+	DynamicCPU  float64
+	DynamicDisk float64
+}
+
+// PaperWeights returns the constants the paper uses.
+func PaperWeights() CostWeights {
+	return CostWeights{
+		StaticCPU:   StaticCPUWeight,
+		StaticDisk:  StaticDiskWeight,
+		DynamicCPU:  DynamicCPUWeight,
+		DynamicDisk: DynamicDiskWeight,
+	}
+}
+
+// UniformWeights returns class-blind constants (the ablation baseline).
+func UniformWeights() CostWeights {
+	return CostWeights{StaticCPU: 5, StaticDisk: 5, DynamicCPU: 5, DynamicDisk: 5}
+}
+
+// RequestLoad computes l_i = (loadCPU + loadDisk) × processing_time for
+// one request of the given class, in load-seconds.
+func (w CostWeights) RequestLoad(class content.Class, processing time.Duration) float64 {
+	var cpu, disk float64
+	if class.Dynamic() {
+		cpu, disk = w.DynamicCPU, w.DynamicDisk
+	} else {
+		cpu, disk = w.StaticCPU, w.StaticDisk
+	}
+	return (cpu + disk) * processing.Seconds()
+}
+
+// Tracker accumulates per-node load over the current measurement interval.
+// The distributor records every completed request into it (§3.3:
+// "processing time ... is calculated by distributor"). Construct with
+// NewTracker.
+type Tracker struct {
+	weights CostWeights
+
+	mu       sync.Mutex
+	nodeLoad map[config.NodeID]float64
+	nodeReqs map[config.NodeID]int64
+}
+
+// NewTracker returns a tracker using the given cost weights.
+func NewTracker(weights CostWeights) *Tracker {
+	return &Tracker{
+		weights:  weights,
+		nodeLoad: make(map[config.NodeID]float64),
+		nodeReqs: make(map[config.NodeID]int64),
+	}
+}
+
+// Record accumulates one completed request against node.
+func (t *Tracker) Record(node config.NodeID, class content.Class, processing time.Duration) {
+	l := t.weights.RequestLoad(class, processing)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodeLoad[node] += l
+	t.nodeReqs[node]++
+}
+
+// IntervalLoads closes the current interval: it returns each node's
+// L_j = accumulated load / weight and resets the accumulators. Nodes in
+// weights with no recorded requests report 0 (an idle node is maximally
+// underutilized, which is what draws replicas to it).
+func (t *Tracker) IntervalLoads(specs []config.NodeSpec) map[config.NodeID]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[config.NodeID]float64, len(specs))
+	for _, spec := range specs {
+		w := spec.EffectiveWeight()
+		out[spec.ID] = t.nodeLoad[spec.ID] / w
+	}
+	t.nodeLoad = make(map[config.NodeID]float64)
+	t.nodeReqs = make(map[config.NodeID]int64)
+	return out
+}
+
+// Requests returns the per-node request counts for the current interval
+// without resetting.
+func (t *Tracker) Requests() map[config.NodeID]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[config.NodeID]int64, len(t.nodeReqs))
+	for k, v := range t.nodeReqs {
+		out[k] = v
+	}
+	return out
+}
+
+// Classification of nodes relative to the interval average.
+type Level int
+
+// Levels.
+const (
+	LevelBalanced Level = iota + 1
+	LevelOverloaded
+	LevelUnderutilized
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelBalanced:
+		return "balanced"
+	case LevelOverloaded:
+		return "overloaded"
+	case LevelUnderutilized:
+		return "underutilized"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify labels each node against the cluster average: above
+// avg×(1+threshold) is overloaded, below avg×(1−threshold) is
+// underutilized (§3.3). A zero average (idle interval) yields all-balanced.
+func Classify(loads map[config.NodeID]float64, threshold float64) map[config.NodeID]Level {
+	out := make(map[config.NodeID]Level, len(loads))
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	avg := sum / float64(len(loads))
+	for id, l := range loads {
+		switch {
+		case avg == 0:
+			out[id] = LevelBalanced
+		case l > avg*(1+threshold):
+			out[id] = LevelOverloaded
+		case l < avg*(1-threshold):
+			out[id] = LevelUnderutilized
+		default:
+			out[id] = LevelBalanced
+		}
+	}
+	return out
+}
+
+// SortedNodes returns node IDs ordered by ascending load (ties by ID), the
+// order in which the planner assigns replicas.
+func SortedNodes(loads map[config.NodeID]float64) []config.NodeID {
+	ids := make([]config.NodeID, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if loads[ids[i]] != loads[ids[j]] {
+			return loads[ids[i]] < loads[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

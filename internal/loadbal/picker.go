@@ -1,0 +1,199 @@
+// Package loadbal implements the paper's load-distribution machinery: the
+// server-selection policies used by the front ends (Weighted Least
+// Connection for the baseline L4 router, replica selection for the
+// content-aware distributor) and the §3.3 load metric
+// (l_i = (loadCPU + loadDisk) × processing_time,
+// L_j = Σ(l_i × access_frequency) / Weight) together with the
+// auto-replication/offload planner driven by it.
+package loadbal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"webcluster/internal/config"
+)
+
+// ErrNoCandidates reports a pick over an empty candidate set.
+var ErrNoCandidates = errors.New("loadbal: no candidate nodes")
+
+// NodeState is the per-node signal a Picker reads: static capacity weight,
+// instantaneous active connections, and the last computed §3.3 load index.
+type NodeState struct {
+	ID     config.NodeID
+	Weight float64
+	// Active is the number of in-flight requests/connections.
+	Active int64
+	// Load is the most recent L_j value; 0 until first computed.
+	Load float64
+}
+
+// Picker chooses a node from a candidate set. Implementations must be safe
+// for concurrent use.
+type Picker interface {
+	// Pick selects one of candidates, which is non-empty.
+	Pick(candidates []NodeState) (config.NodeID, error)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// WeightedLeastConn picks the node minimizing Active/Weight — the policy
+// the paper's prior-work L4 router implements ("Weight Least Connection").
+// The zero value is ready to use.
+type WeightedLeastConn struct{}
+
+var _ Picker = (*WeightedLeastConn)(nil)
+
+// Pick implements Picker.
+func (WeightedLeastConn) Pick(candidates []NodeState) (config.NodeID, error) {
+	if len(candidates) == 0 {
+		return "", ErrNoCandidates
+	}
+	best := 0
+	bestScore := score(candidates[0])
+	for i := 1; i < len(candidates); i++ {
+		if s := score(candidates[i]); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return candidates[best].ID, nil
+}
+
+// score is active connections normalized by capacity weight.
+func score(n NodeState) float64 {
+	w := n.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return float64(n.Active) / w
+}
+
+// Name implements Picker.
+func (WeightedLeastConn) Name() string { return "wlc" }
+
+// LeastConn picks the node with the fewest active connections, ignoring
+// weights (the unweighted baseline ablation). The zero value is ready.
+type LeastConn struct{}
+
+var _ Picker = (*LeastConn)(nil)
+
+// Pick implements Picker.
+func (LeastConn) Pick(candidates []NodeState) (config.NodeID, error) {
+	if len(candidates) == 0 {
+		return "", ErrNoCandidates
+	}
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i].Active < candidates[best].Active {
+			best = i
+		}
+	}
+	return candidates[best].ID, nil
+}
+
+// Name implements Picker.
+func (LeastConn) Name() string { return "lc" }
+
+// RoundRobin cycles through candidates in order. Construct with
+// NewRoundRobin.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+var _ Picker = (*RoundRobin)(nil)
+
+// NewRoundRobin returns a round-robin picker.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Pick implements Picker. Rotation is positional over the candidate slice,
+// which distributes uniformly when the candidate set is stable.
+func (r *RoundRobin) Pick(candidates []NodeState) (config.NodeID, error) {
+	if len(candidates) == 0 {
+		return "", ErrNoCandidates
+	}
+	r.mu.Lock()
+	idx := r.next % uint64(len(candidates))
+	r.next++
+	r.mu.Unlock()
+	return candidates[idx].ID, nil
+}
+
+// Name implements Picker.
+func (r *RoundRobin) Name() string { return "rr" }
+
+// Random picks uniformly at random. Construct with NewRandom.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Picker = (*Random)(nil)
+
+// NewRandom returns a random picker seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Picker.
+func (r *Random) Pick(candidates []NodeState) (config.NodeID, error) {
+	if len(candidates) == 0 {
+		return "", ErrNoCandidates
+	}
+	r.mu.Lock()
+	idx := r.rng.Intn(len(candidates))
+	r.mu.Unlock()
+	return candidates[idx].ID, nil
+}
+
+// Name implements Picker.
+func (r *Random) Name() string { return "random" }
+
+// LeastLoad picks the node with the smallest §3.3 load index L_j,
+// breaking ties by weighted active connections. This is the
+// "more sophisticated load-balancing algorithm" the paper's conclusion
+// names as future work: routing reads the same interval load metric the
+// auto-replicator uses, so a node busy with expensive dynamic work is
+// avoided even when its connection count looks moderate. The zero value
+// is ready to use.
+type LeastLoad struct{}
+
+var _ Picker = (*LeastLoad)(nil)
+
+// Pick implements Picker.
+func (LeastLoad) Pick(candidates []NodeState) (config.NodeID, error) {
+	if len(candidates) == 0 {
+		return "", ErrNoCandidates
+	}
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		a, b := candidates[i], candidates[best]
+		if a.Load < b.Load || (a.Load == b.Load && score(a) < score(b)) {
+			best = i
+		}
+	}
+	return candidates[best].ID, nil
+}
+
+// Name implements Picker.
+func (LeastLoad) Name() string { return "leastload" }
+
+// ByName returns the picker registered under name.
+func ByName(name string, seed int64) (Picker, error) {
+	switch name {
+	case "wlc":
+		return WeightedLeastConn{}, nil
+	case "lc":
+		return LeastConn{}, nil
+	case "rr":
+		return NewRoundRobin(), nil
+	case "random":
+		return NewRandom(seed), nil
+	case "leastload":
+		return LeastLoad{}, nil
+	default:
+		return nil, fmt.Errorf("loadbal: unknown picker %q", name)
+	}
+}

@@ -1,0 +1,257 @@
+package loadbal
+
+import (
+	"fmt"
+	"sort"
+
+	"webcluster/internal/config"
+	"webcluster/internal/urltable"
+)
+
+// ActionKind distinguishes planner decisions.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActionReplicate copies content to an underutilized node.
+	ActionReplicate ActionKind = iota + 1
+	// ActionOffload removes a copy from an overloaded node.
+	ActionOffload
+)
+
+// String names the kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionReplicate:
+		return "replicate"
+	case ActionOffload:
+		return "offload"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one placement change the controller should apply: copy Path
+// from Source to Target (replicate) or drop Path's copy on Target
+// (offload).
+type Action struct {
+	Kind   ActionKind
+	Path   string
+	Source config.NodeID // replicate only: a node currently holding Path
+	Target config.NodeID
+}
+
+// String formats the action for logs.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionReplicate:
+		return fmt.Sprintf("replicate %s %s→%s", a.Path, a.Source, a.Target)
+	case ActionOffload:
+		return fmt.Sprintf("offload %s from %s", a.Path, a.Target)
+	default:
+		return fmt.Sprintf("unknown action on %s", a.Path)
+	}
+}
+
+// PlannerOptions tunes the auto-replication planner.
+type PlannerOptions struct {
+	// Threshold is the §3.3 deviation fraction from the average load
+	// that marks a node over/under-utilized.
+	Threshold float64
+	// MaxActionsPerNode caps placement changes per node per interval so
+	// the system converges instead of thrashing.
+	MaxActionsPerNode int
+	// MinHits is the popularity floor: content with fewer interval hits
+	// is never replicated (it cannot be a hot spot).
+	MinHits int64
+	// PriorityMinCopies is the availability floor for critical content
+	// (Priority > 0): the planner replicates it up to this copy count
+	// regardless of load (§1.2: "replicate some critical content to
+	// multiple nodes for achieving high availability"). 0 disables.
+	PriorityMinCopies int
+}
+
+// DefaultPlannerOptions returns conservative defaults.
+func DefaultPlannerOptions() PlannerOptions {
+	return PlannerOptions{
+		Threshold:         0.25,
+		MaxActionsPerNode: 3,
+		MinHits:           10,
+		PriorityMinCopies: 2,
+	}
+}
+
+// Plan computes the interval's placement actions from per-node loads and
+// the URL table (§3.3): underutilized nodes receive replicas of the most
+// popular content they lack; overloaded nodes shed copies of their hottest
+// content that is also held elsewhere. When an overloaded node holds sole
+// copies only, the planner first replicates its hottest object to the
+// least-loaded node so a later interval can complete the offload.
+func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOptions) []Action {
+	if opts.MaxActionsPerNode <= 0 {
+		opts.MaxActionsPerNode = 3
+	}
+	levels := Classify(loads, opts.Threshold)
+	order := SortedNodes(loads) // coldest first
+
+	var actions []Action
+	// pairSeen dedups (path → target) decisions across branches;
+	// perTarget enforces MaxActionsPerNode on receiving nodes too.
+	pairSeen := make(map[string]bool)
+	perTarget := make(map[config.NodeID]int)
+	add := func(a Action) bool {
+		key := a.Path + "→" + string(a.Target) + "/" + a.Kind.String()
+		if pairSeen[key] {
+			return false
+		}
+		if a.Kind == ActionReplicate && perTarget[a.Target] >= opts.MaxActionsPerNode {
+			return false
+		}
+		pairSeen[key] = true
+		if a.Kind == ActionReplicate {
+			perTarget[a.Target]++
+		}
+		actions = append(actions, a)
+		return true
+	}
+
+	// Global popularity ranking for replication to cold nodes. Pinned
+	// content never moves: its placement encodes an administrative
+	// decision (mutable content with centralized consistency, §4).
+	var all []urltable.Record
+	var underReplicated []urltable.Record
+	table.Walk(func(r urltable.Record) {
+		if r.Pinned {
+			return
+		}
+		if r.Hits >= opts.MinHits {
+			all = append(all, r)
+		}
+		if opts.PriorityMinCopies > 0 && r.Priority > 0 &&
+			len(r.Locations) < opts.PriorityMinCopies {
+			underReplicated = append(underReplicated, r)
+		}
+	})
+	sortByHits(all)
+
+	// Availability floor first: critical content below its copy floor is
+	// replicated to the coldest nodes regardless of load levels.
+	sort.Slice(underReplicated, func(i, j int) bool {
+		if underReplicated[i].Priority != underReplicated[j].Priority {
+			return underReplicated[i].Priority > underReplicated[j].Priority
+		}
+		return underReplicated[i].Path < underReplicated[j].Path
+	})
+	for _, r := range underReplicated {
+		need := opts.PriorityMinCopies - len(r.Locations)
+		for _, target := range order {
+			if need <= 0 {
+				break
+			}
+			if r.HasLocation(target) {
+				continue
+			}
+			if add(Action{
+				Kind:   ActionReplicate,
+				Path:   r.Path,
+				Source: leastLoadedOf(r.Locations, loads),
+				Target: target,
+			}) {
+				need--
+			}
+		}
+	}
+
+	// Replicate hot content to each underutilized node, hottest first,
+	// skipping content it already holds.
+	for _, id := range order {
+		if levels[id] != LevelUnderutilized {
+			continue
+		}
+		n := 0
+		for _, r := range all {
+			if n >= opts.MaxActionsPerNode {
+				break
+			}
+			if r.HasLocation(id) || len(r.Locations) == 0 {
+				continue
+			}
+			if add(Action{
+				Kind:   ActionReplicate,
+				Path:   r.Path,
+				Source: leastLoadedOf(r.Locations, loads),
+				Target: id,
+			}) {
+				n++
+			}
+		}
+	}
+
+	// Offload the hottest multi-copy content from each overloaded node.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if levels[id] != LevelOverloaded {
+			continue
+		}
+		entries := table.EntriesAt(id) // already hottest-first
+		n := 0
+		soleHot := ""
+		for _, r := range entries {
+			if n >= opts.MaxActionsPerNode {
+				break
+			}
+			if r.Hits < opts.MinHits {
+				break
+			}
+			if r.Pinned {
+				continue
+			}
+			if len(r.Locations) < 2 {
+				if soleHot == "" {
+					soleHot = r.Path
+				}
+				continue
+			}
+			if add(Action{Kind: ActionOffload, Path: r.Path, Target: id}) {
+				n++
+			}
+		}
+		if n == 0 && soleHot != "" && len(order) > 1 {
+			// Sole copies only: stage a replica on the coldest other node.
+			target := order[0]
+			if target == id {
+				target = order[1]
+			}
+			add(Action{
+				Kind:   ActionReplicate,
+				Path:   soleHot,
+				Source: id,
+				Target: target,
+			})
+		}
+	}
+	return actions
+}
+
+// sortByHits orders records hottest-first with path tiebreak for
+// determinism.
+func sortByHits(recs []urltable.Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Hits != recs[j].Hits {
+			return recs[i].Hits > recs[j].Hits
+		}
+		return recs[i].Path < recs[j].Path
+	})
+}
+
+// leastLoadedOf returns the location with the smallest load (replication
+// source that disturbs the cluster least).
+func leastLoadedOf(locs []config.NodeID, loads map[config.NodeID]float64) config.NodeID {
+	best := locs[0]
+	for _, id := range locs[1:] {
+		if loads[id] < loads[best] {
+			best = id
+		}
+	}
+	return best
+}

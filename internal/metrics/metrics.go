@@ -1,0 +1,217 @@
+// Package metrics provides the measurement primitives used across the
+// system: counters, latency histograms, sliding-window throughput meters and
+// per-request-class aggregation. The benchmark harness uses these to report
+// the same quantities the paper's figures plot (requests served per second,
+// broken down by content class).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+// The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram collects duration observations and reports summary statistics.
+// The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+}
+
+// Meter measures event throughput over a measurement interval, mirroring
+// WebBench's requests-per-second metric. The zero value is not usable;
+// construct with NewMeter.
+type Meter struct {
+	mu      sync.Mutex
+	started time.Time
+	events  int64
+	now     func() time.Time
+}
+
+// NewMeter returns a meter using the wall clock.
+func NewMeter() *Meter { return NewMeterAt(time.Now) }
+
+// NewMeterAt returns a meter reading time from now, letting simulations
+// drive throughput measurement off a virtual clock.
+func NewMeterAt(now func() time.Time) *Meter {
+	return &Meter{started: now(), now: now}
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events += n
+}
+
+// Rate returns events per second since the meter started (or was reset).
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := m.now().Sub(m.started).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.events) / elapsed
+}
+
+// Count returns the number of marked events.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Reset zeroes the meter and restarts its measurement interval.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = 0
+	m.started = m.now()
+}
+
+// ClassStats aggregates request outcomes for one content class (static,
+// CGI, ASP, video, ...). The zero value is ready to use.
+type ClassStats struct {
+	Requests Counter
+	Bytes    Counter
+	Errors   Counter
+	Latency  Histogram
+}
+
+// Registry groups per-class statistics. The zero value is ready to use.
+type Registry struct {
+	mu      sync.Mutex
+	classes map[string]*ClassStats
+}
+
+// Class returns the stats bucket for name, creating it on first use.
+func (r *Registry) Class(name string) *ClassStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.classes == nil {
+		r.classes = make(map[string]*ClassStats)
+	}
+	cs, ok := r.classes[name]
+	if !ok {
+		cs = &ClassStats{}
+		r.classes[name] = cs
+	}
+	return cs
+}
+
+// Classes returns the registered class names in sorted order.
+func (r *Registry) Classes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.classes))
+	for name := range r.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary formats one line per class: "class: N reqs, mean latency".
+func (r *Registry) Summary() string {
+	var out string
+	for _, name := range r.Classes() {
+		cs := r.Class(name)
+		out += fmt.Sprintf("%s: %d reqs, %d errors, mean %v\n",
+			name, cs.Requests.Value(), cs.Errors.Value(), cs.Latency.Mean())
+	}
+	return out
+}

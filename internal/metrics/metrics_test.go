@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("counter = %d, want 16000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %g", g.Value())
+	}
+	g.Set(3.25)
+	if g.Value() != 3.25 {
+		t.Fatalf("gauge = %g, want 3.25", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Fatalf("gauge = %g, want -1", g.Value())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean not 0")
+	}
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if h.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", h.Mean())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{0.5, 50 * time.Millisecond},
+		{0.9, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("q%.2f = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileAfterMoreObservations(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	_ = h.Quantile(0.5) // forces a sort
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Fatalf("min after re-observe = %v, want 1ms", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset left samples")
+	}
+}
+
+// TestPropertyQuantileMonotone: quantiles never decrease in q.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(samples []int16) bool {
+		var h Histogram
+		for _, s := range samples {
+			d := time.Duration(int(s)+40000) * time.Microsecond
+			h.Observe(d)
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	m := NewMeterAt(clock)
+	m.Mark(10)
+	now = now.Add(2 * time.Second)
+	if got := m.Rate(); got != 5 {
+		t.Fatalf("rate = %g, want 5", got)
+	}
+	if m.Count() != 10 {
+		t.Fatalf("count = %d", m.Count())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	now := time.Unix(100, 0)
+	m := NewMeterAt(func() time.Time { return now })
+	m.Mark(5)
+	now = now.Add(time.Second)
+	m.Reset()
+	if m.Count() != 0 {
+		t.Fatal("Reset kept events")
+	}
+	now = now.Add(time.Second)
+	m.Mark(3)
+	if got := m.Rate(); got != 3 {
+		t.Fatalf("rate after reset = %g, want 3", got)
+	}
+}
+
+func TestMeterZeroElapsed(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewMeterAt(func() time.Time { return now })
+	m.Mark(100)
+	if m.Rate() != 0 {
+		t.Fatal("rate with zero elapsed should be 0")
+	}
+}
+
+func TestRegistryClasses(t *testing.T) {
+	var r Registry
+	r.Class("html").Requests.Inc()
+	r.Class("cgi").Requests.Add(2)
+	r.Class("html").Errors.Inc()
+	got := r.Classes()
+	if len(got) != 2 || got[0] != "cgi" || got[1] != "html" {
+		t.Fatalf("classes = %v", got)
+	}
+	if r.Class("html").Requests.Value() != 1 {
+		t.Fatal("class bucket not shared")
+	}
+}
+
+func TestRegistrySummary(t *testing.T) {
+	var r Registry
+	r.Class("video").Requests.Add(7)
+	s := r.Summary()
+	if !strings.Contains(s, "video: 7 reqs") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Class("x").Requests.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Class("x").Requests.Value() != 4000 {
+		t.Fatalf("requests = %d", r.Class("x").Requests.Value())
+	}
+}

@@ -1,0 +1,275 @@
+// Package mgmt implements the content management system of §3: per-node
+// broker daemons, the agent framework with download-on-demand dispatch,
+// the controller that orchestrates management operations and auto-
+// replication, and the remote-console client.
+//
+// In the paper, agents are Java classes that brokers download and execute
+// ("downloaded executable content"). Go has no portable runtime class
+// loading, so the reproduction models mobile code faithfully at the
+// protocol level: brokers start with an empty agent registry and only the
+// bootstrap install capability; when the controller dispatches an agent the
+// broker does not know, the broker answers need-code, the controller ships
+// the agent's spec, and the broker installs it before retrying. Management
+// therefore exercises the same install-on-first-use flow the paper
+// describes, and a broker accumulates exactly the agents its node needed.
+package mgmt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"webcluster/internal/backend"
+	"webcluster/internal/config"
+	"webcluster/internal/monitor"
+)
+
+// Op is a built-in agent behaviour. Agent specs bind a name to an op; the
+// spec is what travels from the controller's repository to a broker.
+type Op int
+
+// Ops.
+const (
+	// OpPing answers liveness probes.
+	OpPing Op = iota + 1
+	// OpStatus reports the node's monitor.NodeStatus.
+	OpStatus
+	// OpDeleteFile removes a file from the node's local store.
+	OpDeleteFile
+	// OpStoreFile places a file (bytes or synthetic size) on the node.
+	OpStoreFile
+	// OpFetchFile returns a file's bytes (the controller's copy source).
+	OpFetchFile
+	// OpListFiles returns all stored paths.
+	OpListFiles
+	// OpReplaceFile atomically replaces a file's contents (the update
+	// path for mutable content: delete + store + cache invalidation).
+	OpReplaceFile
+	// OpChecksum returns the SHA-256 of a stored file, letting the
+	// controller audit replica consistency without transferring bytes.
+	OpChecksum
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpStatus:
+		return "status"
+	case OpDeleteFile:
+		return "delete-file"
+	case OpStoreFile:
+		return "store-file"
+	case OpFetchFile:
+		return "fetch-file"
+	case OpListFiles:
+		return "list-files"
+	case OpReplaceFile:
+		return "replace-file"
+	case OpChecksum:
+		return "checksum"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Spec is the transferable description of an agent: the unit of "mobile
+// code" the controller's repository holds and brokers install on demand.
+type Spec struct {
+	Name string `json:"name"`
+	Op   Op     `json:"op"`
+}
+
+// BuiltinSpecs returns the standard agent repository contents: one agent
+// per management function, named as the controller dispatches them.
+func BuiltinSpecs() []Spec {
+	ops := []Op{OpPing, OpStatus, OpDeleteFile, OpStoreFile, OpFetchFile, OpListFiles, OpReplaceFile, OpChecksum}
+	specs := make([]Spec, len(ops))
+	for i, op := range ops {
+		specs[i] = Spec{Name: op.String(), Op: op}
+	}
+	return specs
+}
+
+// Args carries an agent invocation's parameters.
+type Args struct {
+	Path string `json:"path,omitempty"`
+	// Data is the object payload for store-file (base64 on the wire).
+	Data []byte `json:"data,omitempty"`
+	// Size requests synthetic placement of Size bytes when Data is nil.
+	Size int64 `json:"size,omitempty"`
+}
+
+// Result carries an agent's outcome.
+type Result struct {
+	Message string              `json:"message,omitempty"`
+	Data    []byte              `json:"data,omitempty"`
+	Paths   []string            `json:"paths,omitempty"`
+	Status  *monitor.NodeStatus `json:"status,omitempty"`
+}
+
+// Env is the node-local environment an agent executes against.
+type Env struct {
+	Node  config.NodeID
+	Store backend.Store
+	// Server is the co-located web server, when one exists, for status
+	// reporting; nil on a pure storage node.
+	Server *backend.Server
+	Now    func() time.Time
+}
+
+// ExecuteOp runs one agent op in env.
+func ExecuteOp(op Op, env Env, args Args) (Result, error) {
+	now := env.Now
+	if now == nil {
+		now = time.Now
+	}
+	switch op {
+	case OpPing:
+		return Result{Message: "pong"}, nil
+
+	case OpStatus:
+		st := monitor.NodeStatus{
+			Node:        string(env.Node),
+			CollectedAt: now(),
+		}
+		if env.Store != nil {
+			st.StoreObjects = len(env.Store.List())
+			st.StoreBytes = env.Store.UsedBytes()
+		}
+		if env.Server != nil {
+			st.ActiveRequests = env.Server.ActiveRequests()
+			cs := env.Server.PageCacheStats()
+			st.CacheHits = cs.Hits
+			st.CacheMisses = cs.Misses
+			st.CacheHitRate = cs.HitRate()
+			var served int64
+			for _, class := range env.Server.Stats().Classes() {
+				served += env.Server.Stats().Class(class).Requests.Value()
+			}
+			st.RequestsServed = served
+		}
+		return Result{Status: &st}, nil
+
+	case OpDeleteFile:
+		if env.Store == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no store", env.Node)
+		}
+		if err := env.Store.Delete(args.Path); err != nil {
+			return Result{}, fmt.Errorf("mgmt: delete %q: %w", args.Path, err)
+		}
+		if env.Server != nil {
+			env.Server.InvalidateCache(args.Path)
+		}
+		return Result{Message: "deleted " + args.Path}, nil
+
+	case OpStoreFile:
+		if env.Store == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no store", env.Node)
+		}
+		if args.Data == nil && args.Size > 0 {
+			if ss, ok := env.Store.(*backend.SyntheticStore); ok {
+				if err := ss.PlaceSized(args.Path, args.Size); err != nil {
+					return Result{}, fmt.Errorf("mgmt: place %q: %w", args.Path, err)
+				}
+				if env.Server != nil {
+					env.Server.InvalidateCache(args.Path)
+				}
+				return Result{Message: "placed " + args.Path}, nil
+			}
+			// Materialize synthetic bytes for stores that keep data.
+			args.Data = backend.SynthesizeBody(args.Path, args.Size)
+		}
+		if err := env.Store.Put(args.Path, args.Data); err != nil {
+			return Result{}, fmt.Errorf("mgmt: store %q: %w", args.Path, err)
+		}
+		if env.Server != nil {
+			env.Server.InvalidateCache(args.Path)
+		}
+		return Result{Message: "stored " + args.Path}, nil
+
+	case OpFetchFile:
+		if env.Store == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no store", env.Node)
+		}
+		data, err := env.Store.Fetch(args.Path)
+		if err != nil {
+			return Result{}, fmt.Errorf("mgmt: fetch %q: %w", args.Path, err)
+		}
+		return Result{Data: data}, nil
+
+	case OpListFiles:
+		if env.Store == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no store", env.Node)
+		}
+		return Result{Paths: env.Store.List()}, nil
+
+	case OpReplaceFile:
+		if env.Store == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no store", env.Node)
+		}
+		if !env.Store.Has(args.Path) {
+			return Result{}, fmt.Errorf("mgmt: replace %q: %w", args.Path, backend.ErrNotStored)
+		}
+		if err := env.Store.Delete(args.Path); err != nil {
+			return Result{}, fmt.Errorf("mgmt: replace %q: %w", args.Path, err)
+		}
+		data := args.Data
+		if data == nil && args.Size > 0 {
+			data = backend.SynthesizeBody(args.Path, args.Size)
+		}
+		if err := env.Store.Put(args.Path, data); err != nil {
+			return Result{}, fmt.Errorf("mgmt: replace %q: %w", args.Path, err)
+		}
+		if env.Server != nil {
+			env.Server.InvalidateCache(args.Path)
+		}
+		return Result{Message: "replaced " + args.Path}, nil
+
+	case OpChecksum:
+		if env.Store == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no store", env.Node)
+		}
+		data, err := env.Store.Fetch(args.Path)
+		if err != nil {
+			return Result{}, fmt.Errorf("mgmt: checksum %q: %w", args.Path, err)
+		}
+		sum := sha256.Sum256(data)
+		return Result{Message: hex.EncodeToString(sum[:])}, nil
+
+	default:
+		return Result{}, fmt.Errorf("mgmt: unknown op %v", op)
+	}
+}
+
+// Wire protocol: newline-delimited JSON over TCP.
+
+// request is one broker-bound message: either an agent invocation or an
+// agent installation.
+type request struct {
+	ID      int64  `json:"id"`
+	Agent   string `json:"agent,omitempty"`
+	Args    *Args  `json:"args,omitempty"`
+	Install *Spec  `json:"install,omitempty"`
+}
+
+// response is the broker's reply.
+type response struct {
+	ID     int64   `json:"id"`
+	OK     bool    `json:"ok"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	// NeedCode signals the broker lacks the agent and wants its spec.
+	NeedCode bool `json:"needCode,omitempty"`
+}
+
+// encode writes v as one JSON line.
+func encode(enc *json.Encoder, v any) error {
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("mgmt: encoding message: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+	"webcluster/internal/doctree"
+	"webcluster/internal/monitor"
+)
+
+// The remote console (§3.1/§3.2). The paper ships a Java-applet GUI; this
+// reproduction exposes the same operations over a JSON line protocol so
+// cmd/console (and tests) can drive the controller remotely, preserving
+// the property that administration happens against a single system image
+// from anywhere on the network.
+
+// ConsoleRequest is one console command.
+type ConsoleRequest struct {
+	Op       string          `json:"op"`
+	Path     string          `json:"path,omitempty"`
+	NewPath  string          `json:"newPath,omitempty"`
+	Size     int64           `json:"size,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Node     config.NodeID   `json:"node,omitempty"`
+	Source   config.NodeID   `json:"source,omitempty"`
+	Target   config.NodeID   `json:"target,omitempty"`
+	Nodes    []config.NodeID `json:"nodes,omitempty"`
+	Data     []byte          `json:"data,omitempty"`
+	// loadsite parameters.
+	Objects  int    `json:"objects,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+}
+
+// ConsoleResponse is the controller's reply.
+type ConsoleResponse struct {
+	OK      bool                `json:"ok"`
+	Error   string              `json:"error,omitempty"`
+	Tree    string              `json:"tree,omitempty"`
+	Status  *monitor.NodeStatus `json:"status,omitempty"`
+	Audit   []string            `json:"audit,omitempty"`
+	Nodes   []config.NodeID     `json:"nodes,omitempty"`
+	Actions []string            `json:"actions,omitempty"`
+	Message string              `json:"message,omitempty"`
+}
+
+// SiteLoader services the console's loadsite command: generate a synthetic
+// site and place it through the controller. Wired by the embedding
+// deployment (core or cmd/distributor) because placement policies live
+// above this package.
+type SiteLoader func(req ConsoleRequest) (string, error)
+
+// ConsoleServer exposes a controller to remote consoles. Construct with
+// NewConsoleServer.
+type ConsoleServer struct {
+	controller *Controller
+	// balancer, when set, backs the balance-now command.
+	balancer *AutoBalancer
+	// siteLoader, when set, backs the loadsite command.
+	siteLoader SiteLoader
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewConsoleServer returns a console endpoint for controller; balancer may
+// be nil.
+func NewConsoleServer(controller *Controller, balancer *AutoBalancer) *ConsoleServer {
+	return &ConsoleServer{
+		controller: controller,
+		balancer:   balancer,
+		conns:      make(map[net.Conn]struct{}),
+		closed:     make(chan struct{}),
+	}
+}
+
+// SetSiteLoader wires the loadsite command. Call before Start.
+func (s *ConsoleServer) SetSiteLoader(fn SiteLoader) { s.siteLoader = fn }
+
+// Start listens on addr (":0" for ephemeral), returning the bound address.
+func (s *ConsoleServer) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("console: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			select {
+			case <-s.closed:
+				s.mu.Unlock()
+				_ = conn.Close()
+				return
+			default:
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					_ = conn.Close()
+					s.mu.Lock()
+					delete(s.conns, conn)
+					s.mu.Unlock()
+				}()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// serveConn handles one console session.
+func (s *ConsoleServer) serveConn(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req ConsoleRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := encode(enc, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one console command.
+func (s *ConsoleServer) handle(req ConsoleRequest) ConsoleResponse {
+	fail := func(err error) ConsoleResponse {
+		return ConsoleResponse{OK: false, Error: err.Error()}
+	}
+	switch req.Op {
+	case "tree":
+		return ConsoleResponse{OK: true, Tree: doctree.Render(s.controller.View())}
+	case "nodes":
+		return ConsoleResponse{OK: true, Nodes: s.controller.Nodes()}
+	case "insert":
+		obj := content.Object{
+			Path:     req.Path,
+			Size:     req.Size,
+			Class:    content.Classify(req.Path),
+			Priority: req.Priority,
+		}
+		if obj.Size == 0 && req.Data != nil {
+			obj.Size = int64(len(req.Data))
+		}
+		if err := s.controller.Insert(obj, req.Data, req.Nodes...); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "inserted " + req.Path}
+	case "delete":
+		if err := s.controller.Delete(req.Path); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "deleted " + req.Path}
+	case "rename":
+		if err := s.controller.Rename(req.Path, req.NewPath); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "renamed " + req.Path}
+	case "replicate":
+		if err := s.controller.Replicate(req.Path, req.Source, req.Target); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "replicated " + req.Path}
+	case "offload":
+		if err := s.controller.Offload(req.Path, req.Node); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "offloaded " + req.Path}
+	case "assign":
+		if err := s.controller.Assign(req.Path, req.Nodes...); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "assigned " + req.Path}
+	case "priority":
+		if err := s.controller.SetPriority(req.Path, req.Priority); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "priority set"}
+	case "verify":
+		consistent, sums, err := s.controller.Verify(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		lines := make([]string, 0, len(sums)+1)
+		for node, sum := range sums {
+			lines = append(lines, fmt.Sprintf("%s %s", node, sum))
+		}
+		sort.Strings(lines)
+		msg := "CONSISTENT"
+		if !consistent {
+			msg = "INCONSISTENT"
+		}
+		return ConsoleResponse{OK: true, Message: msg, Actions: lines}
+	case "update":
+		if err := s.controller.Update(req.Path, req.Data); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "updated " + req.Path}
+	case "pin":
+		if err := s.controller.Pin(req.Path, true); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "pinned " + req.Path}
+	case "unpin":
+		if err := s.controller.Pin(req.Path, false); err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "unpinned " + req.Path}
+	case "status":
+		st, err := s.controller.Status(req.Node)
+		if err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Status: &st}
+	case "audit":
+		return ConsoleResponse{OK: true, Audit: s.controller.AuditLog()}
+	case "loadsite":
+		if s.siteLoader == nil {
+			return fail(fmt.Errorf("console: no site loader configured"))
+		}
+		msg, err := s.siteLoader(req)
+		if err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: msg}
+	case "balance":
+		if s.balancer == nil {
+			return fail(fmt.Errorf("console: no balancer configured"))
+		}
+		actions := s.balancer.RunOnce()
+		out := make([]string, len(actions))
+		for i, a := range actions {
+			out[i] = a.String()
+		}
+		return ConsoleResponse{OK: true, Actions: out}
+	default:
+		return fail(fmt.Errorf("console: unknown op %q", req.Op))
+	}
+}
+
+// Close stops the console server and joins its goroutines.
+func (s *ConsoleServer) Close() error {
+	var err error
+	s.closeOne.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		if s.listener != nil {
+			err = s.listener.Close()
+		}
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return err
+}
+
+// Console is the remote-console client. Construct with DialConsole.
+type Console struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// DialConsole connects to a console server at addr.
+func DialConsole(addr string) (*Console, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("console: dialing %s: %w", addr, err)
+	}
+	return &Console{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}, nil
+}
+
+// Do performs one console command.
+func (c *Console) Do(req ConsoleRequest) (ConsoleResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := encode(c.enc, req); err != nil {
+		return ConsoleResponse{}, err
+	}
+	var resp ConsoleResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return ConsoleResponse{}, fmt.Errorf("console: reading response: %w", err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("console: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Close closes the console connection.
+func (c *Console) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,475 @@
+package mgmt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+	"webcluster/internal/doctree"
+	"webcluster/internal/loadbal"
+	"webcluster/internal/monitor"
+	"webcluster/internal/urltable"
+)
+
+// Controller is the special daemon that receives administrator requests
+// and dispatches agents to brokers (§3.1). It owns the agent repository,
+// executes doctree plans (file steps through agents, then the URL-table
+// update), and applies the §3.3 auto-replication planner's actions.
+// Construct with NewController.
+type Controller struct {
+	table *urltable.Table
+
+	mu      sync.Mutex
+	brokers map[config.NodeID]*BrokerClient
+	repo    map[string]Spec
+	audit   []string
+
+	installsSent int64
+}
+
+// NewController returns a controller managing table, with the built-in
+// agent repository loaded.
+func NewController(table *urltable.Table) *Controller {
+	repo := make(map[string]Spec)
+	for _, spec := range BuiltinSpecs() {
+		repo[spec.Name] = spec
+	}
+	return &Controller{
+		table:   table,
+		brokers: make(map[config.NodeID]*BrokerClient),
+		repo:    repo,
+	}
+}
+
+// Table returns the managed URL table.
+func (c *Controller) Table() *urltable.Table { return c.table }
+
+// AddNode connects the controller to the broker for node at addr.
+func (c *Controller) AddNode(node config.NodeID, brokerAddr string) error {
+	client, err := DialBroker(brokerAddr)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.brokers[node]; ok {
+		_ = old.Close()
+	}
+	c.brokers[node] = client
+	return nil
+}
+
+// RemoveNode disconnects node's broker.
+func (c *Controller) RemoveNode(node config.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if client, ok := c.brokers[node]; ok {
+		_ = client.Close()
+		delete(c.brokers, node)
+	}
+}
+
+// Nodes returns the managed node IDs, sorted.
+func (c *Controller) Nodes() []config.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]config.NodeID, 0, len(c.brokers))
+	for id := range c.brokers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InstallsSent counts agent specs shipped to brokers (download-on-demand
+// traffic).
+func (c *Controller) InstallsSent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.installsSent
+}
+
+// logf appends to the audit log.
+func (c *Controller) logf(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.audit = append(c.audit, fmt.Sprintf(format, args...))
+}
+
+// AuditLog returns a copy of the audit entries.
+func (c *Controller) AuditLog() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.audit...)
+}
+
+// broker returns the client for node.
+func (c *Controller) broker(node config.NodeID) (*BrokerClient, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	client, ok := c.brokers[node]
+	if !ok {
+		return nil, fmt.Errorf("controller: no broker for node %s", node)
+	}
+	return client, nil
+}
+
+// Dispatch invokes agent on node with the download-on-demand retry: when
+// the broker lacks the agent, the controller ships the spec from its
+// repository and retries once.
+func (c *Controller) Dispatch(node config.NodeID, agent string, args Args) (Result, error) {
+	client, err := c.broker(node)
+	if err != nil {
+		return Result{}, err
+	}
+	result, needCode, err := client.Invoke(agent, args)
+	if err == nil {
+		return result, nil
+	}
+	if !needCode {
+		return Result{}, fmt.Errorf("dispatch %s to %s: %w", agent, node, err)
+	}
+	c.mu.Lock()
+	spec, ok := c.repo[agent]
+	c.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("dispatch %s to %s: agent not in repository", agent, node)
+	}
+	if err := client.Install(spec); err != nil {
+		return Result{}, fmt.Errorf("dispatch %s to %s: %w", agent, node, err)
+	}
+	c.mu.Lock()
+	c.installsSent++
+	c.mu.Unlock()
+	result, _, err = client.Invoke(agent, args)
+	if err != nil {
+		return Result{}, fmt.Errorf("dispatch %s to %s after install: %w", agent, node, err)
+	}
+	return result, nil
+}
+
+// runStep executes one doctree step via agents.
+func (c *Controller) runStep(step doctree.Step) error {
+	switch step.Kind {
+	case doctree.StepStore:
+		_, err := c.Dispatch(step.Node, OpStoreFile.String(), Args{
+			Path: step.Path,
+			Data: step.Data,
+			Size: step.SyntheticSize,
+		})
+		return err
+	case doctree.StepDelete:
+		_, err := c.Dispatch(step.Node, OpDeleteFile.String(), Args{Path: step.Path})
+		return err
+	case doctree.StepCopy:
+		fetched, err := c.Dispatch(step.Source, OpFetchFile.String(), Args{Path: step.Path})
+		if err != nil {
+			return err
+		}
+		dest := step.DestPath
+		if dest == "" {
+			dest = step.Path
+		}
+		_, err = c.Dispatch(step.Node, OpStoreFile.String(), Args{
+			Path: dest,
+			Data: fetched.Data,
+			Size: step.SyntheticSize,
+		})
+		return err
+	default:
+		return fmt.Errorf("controller: unknown step kind %v", step.Kind)
+	}
+}
+
+// Execute runs a plan: all file steps, then the table update. A failed
+// step aborts before the table changes, so the distributor never routes to
+// content that was not actually placed.
+func (c *Controller) Execute(plan doctree.Plan) error {
+	for _, step := range plan.Steps {
+		if err := c.runStep(step); err != nil {
+			c.logf("FAILED %s: %v", plan.Describe, err)
+			return fmt.Errorf("executing %q: %w", plan.Describe, err)
+		}
+	}
+	if plan.Apply != nil {
+		if err := plan.Apply(c.table); err != nil {
+			c.logf("FAILED table update for %s: %v", plan.Describe, err)
+			return fmt.Errorf("updating table for %q: %w", plan.Describe, err)
+		}
+	}
+	c.logf("OK %s", plan.Describe)
+	return nil
+}
+
+// Insert places a new object on nodes (console operation).
+func (c *Controller) Insert(obj content.Object, data []byte, nodes ...config.NodeID) error {
+	plan, err := doctree.InsertPlan(obj, data, nodes...)
+	if err != nil {
+		return err
+	}
+	return c.Execute(plan)
+}
+
+// Delete removes an object everywhere (console operation).
+func (c *Controller) Delete(path string) error {
+	plan, err := doctree.DeletePlan(c.table, path)
+	if err != nil {
+		return err
+	}
+	return c.Execute(plan)
+}
+
+// Rename renames an object everywhere (console operation).
+func (c *Controller) Rename(oldPath, newPath string) error {
+	plan, err := doctree.RenamePlan(c.table, oldPath, newPath)
+	if err != nil {
+		return err
+	}
+	return c.Execute(plan)
+}
+
+// Replicate copies an object to target (console operation; also the
+// auto-replication executor).
+func (c *Controller) Replicate(path string, source, target config.NodeID) error {
+	plan, err := doctree.ReplicatePlan(c.table, path, source, target)
+	if err != nil {
+		return err
+	}
+	return c.Execute(plan)
+}
+
+// Offload removes node's copy of an object (console operation; also the
+// auto-offload executor).
+func (c *Controller) Offload(path string, node config.NodeID) error {
+	plan, err := doctree.OffloadPlan(c.table, path, node)
+	if err != nil {
+		return err
+	}
+	return c.Execute(plan)
+}
+
+// Assign moves an object to exactly the given nodes (console operation).
+func (c *Controller) Assign(path string, nodes ...config.NodeID) error {
+	plan, err := doctree.AssignPlan(c.table, path, nodes...)
+	if err != nil {
+		return err
+	}
+	return c.Execute(plan)
+}
+
+// SetPriority updates an object's priority in the table.
+func (c *Controller) SetPriority(path string, priority int) error {
+	if err := c.table.SetPriority(path, priority); err != nil {
+		return err
+	}
+	c.logf("OK set priority %d on %s", priority, path)
+	return nil
+}
+
+// Update replaces an object's content on every node holding it — the
+// consistency operation for replicated mutable content: one controller-
+// driven propagation updates all copies and invalidates their page caches.
+// The URL-table size is refreshed afterwards.
+func (c *Controller) Update(path string, data []byte) error {
+	rec, err := c.table.Lookup(path)
+	if err != nil {
+		return err
+	}
+	for _, node := range rec.Locations {
+		if _, err := c.Dispatch(node, OpReplaceFile.String(), Args{Path: path, Data: data}); err != nil {
+			c.logf("FAILED update %s on %s: %v", path, node, err)
+			return fmt.Errorf("updating %s on %s: %w", path, node, err)
+		}
+	}
+	c.logf("OK update %s on %v (%d bytes)", path, rec.Locations, len(data))
+	return nil
+}
+
+// Verify audits an object's replica consistency: it collects the SHA-256
+// of every copy through the checksum agent and reports whether all copies
+// agree, returning the per-node checksums for diagnosis.
+func (c *Controller) Verify(path string) (consistent bool, sums map[config.NodeID]string, err error) {
+	rec, err := c.table.Lookup(path)
+	if err != nil {
+		return false, nil, err
+	}
+	sums = make(map[config.NodeID]string, len(rec.Locations))
+	first := ""
+	consistent = true
+	for _, node := range rec.Locations {
+		res, err := c.Dispatch(node, OpChecksum.String(), Args{Path: path})
+		if err != nil {
+			return false, sums, fmt.Errorf("verifying %s on %s: %w", path, node, err)
+		}
+		sums[node] = res.Message
+		if first == "" {
+			first = res.Message
+		} else if res.Message != first {
+			consistent = false
+		}
+	}
+	c.logf("OK verify %s: consistent=%v over %d copies", path, consistent, len(sums))
+	return consistent, sums, nil
+}
+
+// Pin fixes (or releases) an object's placement: pinned content is never
+// touched by auto-replication, the §4 treatment for mutable documents
+// whose consistency is managed centrally on a dedicated node.
+func (c *Controller) Pin(path string, pinned bool) error {
+	if err := c.table.SetPinned(path, pinned); err != nil {
+		return err
+	}
+	verb := "pinned"
+	if !pinned {
+		verb = "unpinned"
+	}
+	c.logf("OK %s %s", verb, path)
+	return nil
+}
+
+// View returns the single-system-image tree.
+func (c *Controller) View() *doctree.Dir { return doctree.View(c.table) }
+
+// Status probes node through the status agent.
+func (c *Controller) Status(node config.NodeID) (monitor.NodeStatus, error) {
+	result, err := c.Dispatch(node, OpStatus.String(), Args{})
+	if err != nil {
+		return monitor.NodeStatus{}, err
+	}
+	if result.Status == nil {
+		return monitor.NodeStatus{}, fmt.Errorf("controller: node %s returned no status", node)
+	}
+	return *result.Status, nil
+}
+
+// Ping probes node's broker liveness.
+func (c *Controller) Ping(node config.NodeID) error {
+	_, err := c.Dispatch(node, OpPing.String(), Args{})
+	return err
+}
+
+// ApplyActions executes the load balancer's placement actions (§3.3),
+// returning how many succeeded. Individual failures are audited and
+// skipped: a missed rebalance is recoverable next interval.
+func (c *Controller) ApplyActions(actions []loadbal.Action) (int, error) {
+	applied := 0
+	var errs []error
+	for _, a := range actions {
+		var err error
+		switch a.Kind {
+		case loadbal.ActionReplicate:
+			err = c.Replicate(a.Path, a.Source, a.Target)
+		case loadbal.ActionOffload:
+			err = c.Offload(a.Path, a.Target)
+		default:
+			err = fmt.Errorf("controller: unknown action kind %v", a.Kind)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", a, err))
+			continue
+		}
+		applied++
+	}
+	return applied, errors.Join(errs...)
+}
+
+// AutoBalancer periodically closes a load interval, plans placement
+// changes and applies them — the §3.3 auto-replication facility. Construct
+// with NewAutoBalancer; Start launches the loop; Close joins it.
+type AutoBalancer struct {
+	controller *Controller
+	tracker    *loadbal.Tracker
+	specs      []config.NodeSpec
+	opts       loadbal.PlannerOptions
+	interval   time.Duration
+
+	mu      sync.Mutex
+	rounds  int
+	applied int
+	onLoads func(map[config.NodeID]float64)
+
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewAutoBalancer wires the balancing loop. interval defaults to 2s when
+// non-positive.
+func NewAutoBalancer(controller *Controller, tracker *loadbal.Tracker, specs []config.NodeSpec, opts loadbal.PlannerOptions, interval time.Duration) *AutoBalancer {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &AutoBalancer{
+		controller: controller,
+		tracker:    tracker,
+		specs:      append([]config.NodeSpec(nil), specs...),
+		opts:       opts,
+		interval:   interval,
+		closed:     make(chan struct{}),
+	}
+}
+
+// SetOnLoads registers a callback receiving each interval's per-node
+// loads (the distributor subscribes so its load-aware picker sees fresh
+// L_j values). Call before Start.
+func (ab *AutoBalancer) SetOnLoads(fn func(map[config.NodeID]float64)) {
+	ab.mu.Lock()
+	defer ab.mu.Unlock()
+	ab.onLoads = fn
+}
+
+// Start launches the periodic loop.
+func (ab *AutoBalancer) Start() {
+	ab.wg.Add(1)
+	go func() {
+		defer ab.wg.Done()
+		ticker := time.NewTicker(ab.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ab.closed:
+				return
+			case <-ticker.C:
+				ab.RunOnce()
+			}
+		}
+	}()
+}
+
+// RunOnce closes the current interval and applies the planned actions,
+// returning them (tests and the console's balance-now command call this
+// directly).
+func (ab *AutoBalancer) RunOnce() []loadbal.Action {
+	loads := ab.tracker.IntervalLoads(ab.specs)
+	ab.mu.Lock()
+	onLoads := ab.onLoads
+	ab.mu.Unlock()
+	if onLoads != nil {
+		onLoads(loads)
+	}
+	actions := loadbal.Plan(loads, ab.controller.Table(), ab.opts)
+	applied, _ := ab.controller.ApplyActions(actions)
+	ab.controller.Table().ResetHits()
+	ab.mu.Lock()
+	ab.rounds++
+	ab.applied += applied
+	ab.mu.Unlock()
+	return actions
+}
+
+// Rounds reports completed balancing intervals and applied actions.
+func (ab *AutoBalancer) Rounds() (rounds, applied int) {
+	ab.mu.Lock()
+	defer ab.mu.Unlock()
+	return ab.rounds, ab.applied
+}
+
+// Close stops the loop and joins it.
+func (ab *AutoBalancer) Close() {
+	ab.closeOne.Do(func() { close(ab.closed) })
+	ab.wg.Wait()
+}

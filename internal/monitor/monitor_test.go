@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProber flips nodes up/down under test control.
+type fakeProber struct {
+	mu   sync.Mutex
+	down map[string]bool
+	seen map[string]int
+}
+
+func (p *fakeProber) probe(node string) (NodeStatus, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen == nil {
+		p.seen = make(map[string]int)
+	}
+	p.seen[node]++
+	if p.down[node] {
+		return NodeStatus{}, errors.New("unreachable")
+	}
+	return NodeStatus{Node: node, ActiveRequests: 7}, nil
+}
+
+func (p *fakeProber) setDown(node string, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down == nil {
+		p.down = make(map[string]bool)
+	}
+	p.down[node] = down
+}
+
+func TestProbeCollectsStatus(t *testing.T) {
+	p := &fakeProber{}
+	w := NewWatcher([]string{"a", "b"}, p.probe, time.Hour, nil)
+	w.ProbeNow()
+	st, ok := w.Status("a")
+	if !ok || st.ActiveRequests != 7 {
+		t.Fatalf("status = %+v %v", st, ok)
+	}
+	if !w.Alive("a") || !w.Alive("b") {
+		t.Fatal("healthy nodes not alive")
+	}
+	if got := w.AliveNodes(); len(got) != 2 {
+		t.Fatalf("alive = %v", got)
+	}
+}
+
+func TestFailureAndRecoveryEvents(t *testing.T) {
+	p := &fakeProber{}
+	var mu sync.Mutex
+	var events []Event
+	w := NewWatcher([]string{"a"}, p.probe, time.Hour, func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, e)
+	})
+	w.ProbeNow() // up: no transition (starts optimistic)
+	p.setDown("a", true)
+	w.ProbeNow() // down event
+	w.ProbeNow() // still down: no extra event
+	p.setDown("a", false)
+	w.ProbeNow() // up event
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Up || events[0].Node != "a" || events[0].Err == nil {
+		t.Fatalf("down event = %+v", events[0])
+	}
+	if !events[1].Up {
+		t.Fatalf("up event = %+v", events[1])
+	}
+}
+
+func TestAliveNodesExcludesDown(t *testing.T) {
+	p := &fakeProber{}
+	p.setDown("b", true)
+	w := NewWatcher([]string{"a", "b"}, p.probe, time.Hour, nil)
+	w.ProbeNow()
+	got := w.AliveNodes()
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("alive = %v", got)
+	}
+	if w.Alive("b") {
+		t.Fatal("down node reported alive")
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	p := &fakeProber{}
+	w := NewWatcher([]string{"a"}, p.probe, 5*time.Millisecond, nil)
+	w.Start()
+	defer w.Close()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		n := p.seen["a"]
+		p.mu.Unlock()
+		if n >= 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background loop did not probe repeatedly")
+}
+
+func TestCloseStopsLoop(t *testing.T) {
+	p := &fakeProber{}
+	w := NewWatcher([]string{"a"}, p.probe, time.Millisecond, nil)
+	w.Start()
+	w.Close()
+	p.mu.Lock()
+	n1 := p.seen["a"]
+	p.mu.Unlock()
+	time.Sleep(20 * time.Millisecond)
+	p.mu.Lock()
+	n2 := p.seen["a"]
+	p.mu.Unlock()
+	if n2 != n1 {
+		t.Fatalf("probes continued after Close: %d → %d", n1, n2)
+	}
+}
+
+func TestStatusUnknownNode(t *testing.T) {
+	w := NewWatcher(nil, (&fakeProber{}).probe, time.Hour, nil)
+	if _, ok := w.Status("ghost"); ok {
+		t.Fatal("status for unknown node")
+	}
+}

@@ -1,0 +1,279 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"webcluster/internal/backend"
+	"webcluster/internal/config"
+	"webcluster/internal/httpx"
+)
+
+func startNFS(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	store := &backend.MemStore{}
+	srv := NewServer(store)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := Dial(addr)
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = srv.Close()
+	})
+	return srv, client
+}
+
+func TestPutFetchRoundTrip(t *testing.T) {
+	_, client := startNFS(t)
+	if err := client.Put("/docs/a.html", []byte("hello nfs")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := client.Fetch("/docs/a.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello nfs" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestFetchMissing(t *testing.T) {
+	_, client := startNFS(t)
+	_, err := client.Fetch("/absent")
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	_, client := startNFS(t)
+	has, err := client.Has("/x")
+	if err != nil || has {
+		t.Fatalf("Has(absent) = %v, %v", has, err)
+	}
+	_ = client.Put("/x", []byte("1"))
+	has, err = client.Has("/x")
+	if err != nil || !has {
+		t.Fatalf("Has(present) = %v, %v", has, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, client := startNFS(t)
+	_ = client.Put("/x", []byte("1"))
+	if err := client.Delete("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Delete("/x"); !errors.Is(err, ErrRemote) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	_, client := startNFS(t)
+	paths, err := client.List()
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("empty list = %v, %v", paths, err)
+	}
+	_ = client.Put("/b", []byte("1"))
+	_ = client.Put("/a", []byte("1"))
+	paths, err = client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0] != "/a" || paths[1] != "/b" {
+		t.Fatalf("list = %v", paths)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	_, client := startNFS(t)
+	if err := client.Put("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := client.Fetch("/empty")
+	if err != nil || len(data) != 0 {
+		t.Fatalf("fetch empty = %d bytes, %v", len(data), err)
+	}
+}
+
+func TestLargeObject(t *testing.T) {
+	_, client := startNFS(t)
+	big := bytes.Repeat([]byte("v"), 2<<20)
+	if err := client.Put("/video.mpg", big); err != nil {
+		t.Fatal(err)
+	}
+	data, err := client.Fetch("/video.mpg")
+	if err != nil || !bytes.Equal(data, big) {
+		t.Fatalf("large round trip failed: %d bytes, %v", len(data), err)
+	}
+}
+
+func TestServerCounters(t *testing.T) {
+	srv, client := startNFS(t)
+	_ = client.Put("/a", []byte("12345"))
+	_, _ = client.Fetch("/a")
+	_, _ = client.Fetch("/a")
+	if srv.Requests.Value() != 3 {
+		t.Fatalf("requests = %d", srv.Requests.Value())
+	}
+	if srv.BytesOut.Value() != 10 {
+		t.Fatalf("bytes out = %d", srv.BytesOut.Value())
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	_, client := startNFS(t)
+	_ = client.Put("/a", []byte("x"))
+	for i := 0; i < 20; i++ {
+		if _, err := client.Fetch("/a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.mu.Lock()
+	free := len(client.free)
+	client.mu.Unlock()
+	if free != 1 {
+		t.Fatalf("free connections = %d, want 1 (reused)", free)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, client := startNFS(t)
+	_ = client.Put("/shared", []byte("data"))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := client.Fetch("/shared"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientAfterClose(t *testing.T) {
+	_, client := startNFS(t)
+	_ = client.Close()
+	if _, err := client.Fetch("/x"); err == nil {
+		t.Fatal("fetch after close succeeded")
+	}
+}
+
+func TestRemoteStoreImplementsStore(t *testing.T) {
+	_, client := startNFS(t)
+	rs := NewRemoteStore(client)
+	if err := rs.Put("/a.html", []byte("page")); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Has("/a.html") || rs.Has("/b.html") {
+		t.Fatal("Has wrong")
+	}
+	data, err := rs.Fetch("/a.html")
+	if err != nil || string(data) != "page" {
+		t.Fatalf("fetch = %q, %v", data, err)
+	}
+	// Misses map to backend.ErrNotStored so the web server 404s.
+	if _, err := rs.Fetch("/missing"); !errors.Is(err, backend.ErrNotStored) {
+		t.Fatalf("miss error = %v", err)
+	}
+	if got := rs.List(); len(got) != 1 || got[0] != "/a.html" {
+		t.Fatalf("list = %v", got)
+	}
+	if err := rs.Delete("/a.html"); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Has("/a.html") {
+		t.Fatal("survived delete")
+	}
+}
+
+func TestBackendServesFromNFS(t *testing.T) {
+	// Configuration 2 wiring: a web node whose store is the shared file
+	// server.
+	_, client := startNFS(t)
+	_ = client.Put("/pages/a.html", []byte("<html>remote</html>"))
+	rs := NewRemoteStore(client)
+	srv, err := backend.NewServer(backend.ServerOptions{
+		Spec: config.NodeSpec{
+			ID: "web1", CPUMHz: 350, MemoryMB: 64,
+			Disk: config.DiskSCSI, Platform: config.LinuxApache,
+		},
+		Store: rs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	req := &httpx.Request{
+		Method: "GET", Target: "/pages/a.html", Path: "/pages/a.html",
+		Proto: httpx.Proto11, Header: httpx.Header{},
+	}
+	resp := srv.Handle(req)
+	if resp.StatusCode != 200 || string(resp.Body) != "<html>remote</html>" {
+		t.Fatalf("resp = %d %q", resp.StatusCode, resp.Body)
+	}
+	// A second request hits the web node's page cache, not NFS.
+	resp = srv.Handle(req)
+	if resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatal("NFS-backed content not page-cached locally")
+	}
+	// A miss 404s.
+	req404 := &httpx.Request{
+		Method: "GET", Target: "/no", Path: "/no",
+		Proto: httpx.Proto11, Header: httpx.Header{},
+	}
+	if resp := srv.Handle(req404); resp.StatusCode != 404 {
+		t.Fatalf("miss status = %d", resp.StatusCode)
+	}
+}
+
+// TestPropertyRoundTripAnyBytes: arbitrary payloads survive the protocol.
+func TestPropertyRoundTripAnyBytes(t *testing.T) {
+	_, client := startNFS(t)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		path := fmt.Sprintf("/obj/%d", i)
+		if err := client.Put(path, data); err != nil {
+			return false
+		}
+		got, err := client.Fetch(path)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathWithSpacesRejectedGracefully(t *testing.T) {
+	// The line protocol cuts on the first space: a path with a space is
+	// treated as path+garbage and must not wedge the connection.
+	_, client := startNFS(t)
+	err := client.Put("/a b", []byte("x"))
+	// Either an error or a mangled path is acceptable; the connection
+	// must remain usable afterwards.
+	_ = err
+	if err := client.Put("/ok", []byte("y")); err != nil {
+		t.Fatalf("connection wedged after odd path: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"time"
+
+	"webcluster/internal/config"
+)
+
+// Resource is a single-server FIFO queue with unbounded buffering: the
+// model for a node's CPU, its disk, and its network interface. Jobs are
+// served in arrival order, so one long job delays everything queued behind
+// it — the head-of-line blocking that §5.3's segregation experiment
+// (Figure 4) turns into throughput.
+type Resource struct {
+	eng *Engine
+	// free is when the server next becomes idle.
+	free time.Duration
+
+	busy time.Duration // summed service time, for utilization
+	jobs uint64
+}
+
+// NewResource returns a resource scheduled on eng.
+func NewResource(eng *Engine) *Resource {
+	return &Resource{eng: eng}
+}
+
+// Enqueue appends a job with the given service demand and schedules done
+// at its completion time.
+func (r *Resource) Enqueue(service time.Duration, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	start := r.eng.Now()
+	if r.free > start {
+		start = r.free
+	}
+	r.free = start + service
+	r.busy += service
+	r.jobs++
+	r.eng.ScheduleAt(r.free, done)
+}
+
+// EnqueueChunked splits a long service demand into chunk-sized pieces,
+// re-queueing after each piece, so concurrent jobs share the resource
+// approximately fairly — the packet-level multiplexing a real network
+// link (or a disk elevator between requests) performs. done fires when
+// the final chunk completes.
+func (r *Resource) EnqueueChunked(service, chunk time.Duration, done func()) {
+	if chunk <= 0 || service <= chunk {
+		r.Enqueue(service, done)
+		return
+	}
+	remaining := service - chunk
+	r.Enqueue(chunk, func() { r.EnqueueChunked(remaining, chunk, done) })
+}
+
+// QueueDelay returns how long a job arriving now would wait before
+// service begins.
+func (r *Resource) QueueDelay() time.Duration {
+	if d := r.free - r.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Utilization returns busy time divided by elapsed virtual time.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(r.eng.Now())
+}
+
+// Jobs returns the number of jobs served or in service.
+func (r *Resource) Jobs() uint64 { return r.jobs }
+
+// HardwareParams calibrates the simulated hardware. All CPU costs are
+// given at the reference 350 MHz and scaled by 350/CPUMHz on slower nodes.
+type HardwareParams struct {
+	// ParseCPU is the per-request protocol/parse cost at 350 MHz.
+	ParseCPU time.Duration
+	// ExecUnitCPU is the CPU time of one dynamic-content work unit
+	// (content.Object.CPUCost) at 350 MHz.
+	ExecUnitCPU time.Duration
+	// MemCopyBytesPerSec is memory bandwidth for serving a cache hit.
+	MemCopyBytesPerSec float64
+	// NICBytesPerSec is per-node network bandwidth (100 Mbit full
+	// duplex in the testbed).
+	NICBytesPerSec float64
+	// IDESeek/SCSISeek are per-access disk positioning latencies.
+	IDESeek  time.Duration
+	SCSISeek time.Duration
+	// IDEBytesPerSec/SCSIBytesPerSec are sequential disk bandwidths.
+	IDEBytesPerSec  float64
+	SCSIBytesPerSec float64
+	// CacheFraction is the share of node memory used as page cache.
+	CacheFraction float64
+	// DynReserveMB is the memory the CGI/ASP execution environment
+	// (interpreters, per-request heaps) claims on any node that hosts
+	// dynamic content, shrinking its page cache. This is the
+	// "interference between different requests" §1.2 describes: under
+	// full replication every node pays it; under segregation the
+	// static nodes keep their whole cache.
+	DynReserveMB int
+	// NFSPerOpCPU is the shared file server's per-operation RPC cost
+	// (at 350 MHz); this is what makes it a bottleneck under load.
+	NFSPerOpCPU time.Duration
+	// NFSClientOverhead is the fixed remote-file-I/O latency a web node
+	// pays per NFS access (request marshalling, protocol round trip).
+	NFSClientOverhead time.Duration
+	// DynThrashMemMB is the memory floor below which dynamic-content
+	// execution thrashes: nodes with less RAM pay DynThrashFactor× the
+	// execution cost. This models the paper's observation that a heavy
+	// CGI/database request on a weak node takes "orders of magnitude
+	// more time" — interpreter and working-set pressure on a 64 MB
+	// machine, not just the MHz ratio.
+	DynThrashMemMB  int
+	DynThrashFactor float64
+	// RouteLookupCPU is the distributor's URL-table lookup cost (§5.2
+	// measures ~4.32 µs live).
+	RouteLookupCPU time.Duration
+	// L4ForwardCPU is the L4 router's per-connection decision cost.
+	L4ForwardCPU time.Duration
+	// FrontendRelayBytesPerSec is the front end's packet-relay
+	// bandwidth (header rewriting runs near line rate).
+	FrontendRelayBytesPerSec float64
+}
+
+// DefaultHardware returns the calibration used throughout the evaluation,
+// chosen to match late-1990s commodity parts: 100 Mbit Ethernet, IDE vs
+// SCSI disks, and CGI costs from the paper's cited server-performance
+// analysis (Iyengar et al.: dynamic requests cost 10-100× static ones).
+func DefaultHardware() HardwareParams {
+	return HardwareParams{
+		ParseCPU:                 200 * time.Microsecond,
+		ExecUnitCPU:              9 * time.Millisecond,
+		MemCopyBytesPerSec:       80e6,
+		NICBytesPerSec:           12.5e6, // 100 Mbit
+		IDESeek:                  12 * time.Millisecond,
+		SCSISeek:                 7 * time.Millisecond,
+		IDEBytesPerSec:           8e6,
+		SCSIBytesPerSec:          18e6,
+		CacheFraction:            0.6,
+		DynReserveMB:             48,
+		NFSPerOpCPU:              700 * time.Microsecond,
+		NFSClientOverhead:        400 * time.Microsecond,
+		DynThrashMemMB:           128,
+		DynThrashFactor:          16,
+		RouteLookupCPU:           5 * time.Microsecond,
+		L4ForwardCPU:             2 * time.Microsecond,
+		FrontendRelayBytesPerSec: 60e6,
+	}
+}
+
+// cpuScale returns the CPU-time multiplier for a node (350 MHz reference).
+func cpuScale(spec config.NodeSpec) float64 {
+	if spec.CPUMHz <= 0 {
+		return 1
+	}
+	return 350.0 / float64(spec.CPUMHz)
+}
+
+// seekFor returns the positioning latency for a node's disk kind.
+func (hw HardwareParams) seekFor(spec config.NodeSpec) time.Duration {
+	if spec.Disk == config.DiskSCSI {
+		return hw.SCSISeek
+	}
+	return hw.IDESeek
+}
+
+// diskBWFor returns the sequential bandwidth for a node's disk kind.
+func (hw HardwareParams) diskBWFor(spec config.NodeSpec) float64 {
+	if spec.Disk == config.DiskSCSI {
+		return hw.SCSIBytesPerSec
+	}
+	return hw.IDEBytesPerSec
+}
+
+// bytesTime converts a byte count at a bandwidth into a duration.
+func bytesTime(bytes int64, bytesPerSec float64) time.Duration {
+	if bytesPerSec <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bytesPerSec * float64(time.Second))
+}
+
+// scaleDur multiplies a duration by a float factor.
+func scaleDur(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}

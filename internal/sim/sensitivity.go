@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"webcluster/internal/workload"
+)
+
+// Sensitivity analysis for the two calibration knobs EXPERIMENTS.md calls
+// out as the ones that move the headline results: the dynamic-execution
+// thrash factor (drives Figures 3/4) and the site scale relative to node
+// memory (drives Figure 2). Reviewers of a reproduction should be able to
+// see how conclusions vary with the modelling assumptions, not just the
+// defaults.
+
+// SensitivityRow is one knob setting's outcome.
+type SensitivityRow struct {
+	Setting   string
+	Baseline  float64
+	Partition float64
+	GainPct   float64
+}
+
+// SensitivityData is one sweep.
+type SensitivityData struct {
+	Title string
+	Rows  []SensitivityRow
+}
+
+// Render formats the sweep as a table.
+func (d SensitivityData) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.Title)
+	fmt.Fprintf(&b, "%-16s%14s%14s%10s\n", "setting", "baseline r/s", "partition", "gain")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-16s%14.1f%14.1f%9.0f%%\n", r.Setting, r.Baseline, r.Partition, r.GainPct)
+	}
+	return b.String()
+}
+
+// gainPct computes the relative improvement.
+func gainPct(base, part float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (part - base) / base * 100
+}
+
+// SensitivityThrash sweeps DynThrashFactor and reports the Workload B
+// saturation comparison (the Figure 3/4 operating point) per setting.
+func SensitivityThrash(p ExperimentParams, factors []float64) (SensitivityData, error) {
+	data := SensitivityData{
+		Title: fmt.Sprintf("Sensitivity: DynThrashFactor (Workload B, %d clients)", p.SaturationClients),
+	}
+	for _, f := range factors {
+		pp := p
+		pp.Hardware.DynThrashFactor = f
+		base, err := runPoint(pp, workload.KindB, SchemeFullReplication, pp.SaturationClients)
+		if err != nil {
+			return SensitivityData{}, fmt.Errorf("sim: thrash %g baseline: %w", f, err)
+		}
+		part, err := runPoint(pp, workload.KindB, SchemePartition, pp.SaturationClients)
+		if err != nil {
+			return SensitivityData{}, fmt.Errorf("sim: thrash %g partition: %w", f, err)
+		}
+		data.Rows = append(data.Rows, SensitivityRow{
+			Setting:   fmt.Sprintf("thrash=%g", f),
+			Baseline:  base.Throughput(),
+			Partition: part.Throughput(),
+			GainPct:   gainPct(base.Throughput(), part.Throughput()),
+		})
+	}
+	return data, nil
+}
+
+// SensitivityScale sweeps the site object count and reports the Workload A
+// saturation comparison (the Figure 2 cache-working-set effect).
+func SensitivityScale(p ExperimentParams, objectCounts []int) (SensitivityData, error) {
+	data := SensitivityData{
+		Title: fmt.Sprintf("Sensitivity: site scale (Workload A, %d clients)", p.SaturationClients),
+	}
+	for _, n := range objectCounts {
+		pp := p
+		pp.Objects = n
+		base, err := runPoint(pp, workload.KindA, SchemeFullReplication, pp.SaturationClients)
+		if err != nil {
+			return SensitivityData{}, fmt.Errorf("sim: scale %d baseline: %w", n, err)
+		}
+		part, err := runPoint(pp, workload.KindA, SchemePartition, pp.SaturationClients)
+		if err != nil {
+			return SensitivityData{}, fmt.Errorf("sim: scale %d partition: %w", n, err)
+		}
+		data.Rows = append(data.Rows, SensitivityRow{
+			Setting:   fmt.Sprintf("objects=%d", n),
+			Baseline:  base.Throughput(),
+			Partition: part.Throughput(),
+			GainPct:   gainPct(base.Throughput(), part.Throughput()),
+		})
+	}
+	return data, nil
+}

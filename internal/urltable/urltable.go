@@ -1,0 +1,529 @@
+// Package urltable implements the distributor's URL table (§2.2): the data
+// structure consulted on every incoming request to find which back-end
+// node(s) hold the requested content, plus the content metadata (size,
+// class, priority, hit counts) that routing and load-balancing decisions
+// read.
+//
+// Per §5.2 the table is a multi-level hash: each level of the structure
+// corresponds to one level of the content tree, so a lookup walks the URL's
+// path segments through nested hash maps. A small LRU cache of recently
+// resolved full paths fronts the walk, the "proven technique for
+// demultiplexing speedup" the paper borrows from Mogul.
+package urltable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"webcluster/internal/cache"
+	"webcluster/internal/config"
+	"webcluster/internal/content"
+)
+
+// Errors returned by table operations.
+var (
+	// ErrNotFound reports a path with no table entry.
+	ErrNotFound = errors.New("urltable: path not found")
+	// ErrExists reports an insert of an already-present path.
+	ErrExists = errors.New("urltable: path already present")
+	// ErrNoLocation reports an entry with no remaining replica.
+	ErrNoLocation = errors.New("urltable: entry has no locations")
+	// ErrBadPath reports a path that is not absolute.
+	ErrBadPath = errors.New("urltable: path must begin with '/'")
+)
+
+// Record is an immutable snapshot of one URL-table entry.
+type Record struct {
+	Path     string
+	Size     int64
+	Class    content.Class
+	Priority int
+	// Pinned marks content whose placement is administratively fixed
+	// (§4: mutable documents dedicated to one node so consistency can
+	// be managed centrally). The auto-replicator never moves pinned
+	// content.
+	Pinned    bool
+	Hits      int64
+	Locations []config.NodeID
+}
+
+// Dynamic reports whether the record's class requires execution.
+func (r Record) Dynamic() bool { return r.Class.Dynamic() }
+
+// HasLocation reports whether node holds a copy.
+func (r Record) HasLocation(node config.NodeID) bool {
+	for _, loc := range r.Locations {
+		if loc == node {
+			return true
+		}
+	}
+	return false
+}
+
+// entry is the stored (mutable) form of a record. Mutations other than the
+// hit counter happen under the table's write lock; the hit counter is
+// atomic so that the hot read path never takes the write lock.
+type entry struct {
+	path      string
+	size      int64
+	class     content.Class
+	priority  int
+	pinned    bool
+	hits      atomic.Int64
+	locations []config.NodeID
+}
+
+// SizeBytes implements cache.Sizer; the entry cache is bounded by entry
+// count, so every entry counts as 1.
+func (e *entry) SizeBytes() int64 { return 1 }
+
+var _ cache.Sizer = (*entry)(nil)
+
+// snapshot copies the entry into a Record. Callers must hold at least the
+// table's read lock.
+func (e *entry) snapshot() Record {
+	return Record{
+		Path:      e.path,
+		Size:      e.size,
+		Class:     e.class,
+		Priority:  e.priority,
+		Pinned:    e.pinned,
+		Hits:      e.hits.Load(),
+		Locations: append([]config.NodeID(nil), e.locations...),
+	}
+}
+
+// node is one level of the multi-level hash. A node may simultaneously be
+// an interior directory and hold a leaf entry (e.g. /docs and /docs/a.html).
+type node struct {
+	children map[string]*node
+	leaf     *entry
+}
+
+// Per-entry and per-node bookkeeping constants for the memory footprint
+// estimate reported by the §5.2 experiment. The constants approximate Go
+// runtime overheads: map header+bucket share, string headers, slice
+// headers, and the entry struct itself.
+const (
+	entryOverheadBytes    = 96
+	locationBytes         = 24
+	interiorOverheadBytes = 64
+)
+
+// Table is the URL table. The zero value is not usable; construct with New.
+type Table struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+
+	memBytes int64
+
+	// entryCache maps full path → *entry for recently routed URLs.
+	entryCache *cache.LRU
+
+	lookups    atomic.Int64
+	cacheHits  atomic.Int64
+	walkDepths atomic.Int64 // summed segment counts, for diagnostics
+}
+
+// Options configures table construction.
+type Options struct {
+	// CacheEntries bounds the recently-accessed-entry cache; 0 disables
+	// caching (useful for the ablation benchmark).
+	CacheEntries int
+}
+
+// New returns an empty table. cacheEntries ≤ 0 disables the entry cache.
+func New(opts Options) *Table {
+	t := &Table{root: &node{}}
+	if opts.CacheEntries > 0 {
+		t.entryCache = cache.NewLRU(int64(opts.CacheEntries))
+	}
+	return t
+}
+
+// splitPath slices an absolute URL path into segments, ignoring empty
+// segments from duplicate slashes.
+func splitPath(p string) ([]string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
+	}
+	raw := strings.Split(p[1:], "/")
+	segs := raw[:0]
+	for _, s := range raw {
+		if s != "" {
+			segs = append(segs, s)
+		}
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("%w: %q has no segments", ErrBadPath, p)
+	}
+	return segs, nil
+}
+
+// Insert adds a new entry for obj placed at locations. The object's path
+// must not already be present.
+func (t *Table) Insert(obj content.Object, locations ...config.NodeID) error {
+	segs, err := splitPath(obj.Path)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.root
+	for _, seg := range segs {
+		if cur.children == nil {
+			cur.children = make(map[string]*node, 4)
+		}
+		next, ok := cur.children[seg]
+		if !ok {
+			next = &node{}
+			cur.children[seg] = next
+			t.memBytes += interiorOverheadBytes + int64(len(seg))
+		}
+		cur = next
+	}
+	if cur.leaf != nil {
+		return fmt.Errorf("%w: %q", ErrExists, obj.Path)
+	}
+	e := &entry{
+		path:      obj.Path,
+		size:      obj.Size,
+		class:     obj.Class,
+		priority:  obj.Priority,
+		locations: append([]config.NodeID(nil), locations...),
+	}
+	cur.leaf = e
+	t.size++
+	t.memBytes += entryOverheadBytes + int64(len(obj.Path)) +
+		int64(len(locations))*locationBytes
+	return nil
+}
+
+// findLocked walks the multi-level hash to the entry for path. Caller
+// holds at least the read lock.
+func (t *Table) findLocked(segs []string) *entry {
+	cur := t.root
+	for _, seg := range segs {
+		next, ok := cur.children[seg]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return cur.leaf
+}
+
+// lookupEntry resolves path to its stored entry via the cache, falling back
+// to the hash walk and populating the cache on success.
+func (t *Table) lookupEntry(path string) (*entry, error) {
+	t.lookups.Add(1)
+	if t.entryCache != nil {
+		if v, ok := t.entryCache.Get(path); ok {
+			t.cacheHits.Add(1)
+			e, ok := v.(*entry)
+			if !ok {
+				return nil, fmt.Errorf("urltable: cache holds %T", v)
+			}
+			return e, nil
+		}
+	}
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	t.walkDepths.Add(int64(len(segs)))
+	t.mu.RLock()
+	e := t.findLocked(segs)
+	t.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	if t.entryCache != nil {
+		t.entryCache.Put(path, e)
+	}
+	return e, nil
+}
+
+// Lookup returns the record for path without counting a hit.
+func (t *Table) Lookup(path string) (Record, error) {
+	e, err := t.lookupEntry(path)
+	if err != nil {
+		return Record{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return e.snapshot(), nil
+}
+
+// Route resolves path for request routing: it increments the entry's hit
+// counter (the access-frequency input to §3.3 load balancing) and returns
+// the snapshot.
+func (t *Table) Route(path string) (Record, error) {
+	e, err := t.lookupEntry(path)
+	if err != nil {
+		return Record{}, err
+	}
+	e.hits.Add(1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return e.snapshot(), nil
+}
+
+// Remove deletes the entry at path, pruning now-empty interior nodes.
+func (t *Table) Remove(path string) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Record the walk so we can prune bottom-up.
+	walk := make([]*node, 0, len(segs)+1)
+	cur := t.root
+	walk = append(walk, cur)
+	for _, seg := range segs {
+		next, ok := cur.children[seg]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		cur = next
+		walk = append(walk, cur)
+	}
+	if cur.leaf == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	t.memBytes -= entryOverheadBytes + int64(len(cur.leaf.path)) +
+		int64(len(cur.leaf.locations))*locationBytes
+	cur.leaf = nil
+	t.size--
+	for i := len(segs) - 1; i >= 0; i-- {
+		child := walk[i+1]
+		if child.leaf != nil || len(child.children) > 0 {
+			break
+		}
+		delete(walk[i].children, segs[i])
+		t.memBytes -= interiorOverheadBytes + int64(len(segs[i]))
+	}
+	if t.entryCache != nil {
+		t.entryCache.Remove(path)
+	}
+	return nil
+}
+
+// Rename moves the entry at oldPath to newPath, preserving metadata, hit
+// count and locations.
+func (t *Table) Rename(oldPath, newPath string) error {
+	t.mu.Lock()
+	oldSegs, err := splitPath(oldPath)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	e := t.findLocked(oldSegs)
+	t.mu.Unlock()
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldPath)
+	}
+	rec := func() Record {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		return e.snapshot()
+	}()
+	if err := t.Insert(content.Object{
+		Path:     newPath,
+		Size:     rec.Size,
+		Class:    rec.Class,
+		Priority: rec.Priority,
+	}, rec.Locations...); err != nil {
+		return fmt.Errorf("rename to %q: %w", newPath, err)
+	}
+	if err := t.Remove(oldPath); err != nil {
+		// Roll back the insert to keep the table consistent.
+		_ = t.Remove(newPath)
+		return fmt.Errorf("rename from %q: %w", oldPath, err)
+	}
+	// Carry the hit count over to the new entry.
+	newSegs, err := splitPath(newPath)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	ne := t.findLocked(newSegs)
+	t.mu.RUnlock()
+	if ne != nil {
+		ne.hits.Store(rec.Hits)
+	}
+	return nil
+}
+
+// AddLocation registers node as an additional replica holder for path.
+// Adding an existing location is a no-op.
+func (t *Table) AddLocation(path string, node config.NodeID) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.findLocked(segs)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	for _, loc := range e.locations {
+		if loc == node {
+			return nil
+		}
+	}
+	e.locations = append(e.locations, node)
+	t.memBytes += locationBytes
+	return nil
+}
+
+// RemoveLocation drops node from path's replica set. Removing the last
+// location fails with ErrNoLocation: content must live somewhere.
+func (t *Table) RemoveLocation(path string, node config.NodeID) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.findLocked(segs)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	idx := -1
+	for i, loc := range e.locations {
+		if loc == node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %q not at %s", ErrNotFound, path, node)
+	}
+	if len(e.locations) == 1 {
+		return fmt.Errorf("%w: %q", ErrNoLocation, path)
+	}
+	e.locations = append(e.locations[:idx], e.locations[idx+1:]...)
+	t.memBytes -= locationBytes
+	return nil
+}
+
+// SetPriority updates the priority of path's entry.
+func (t *Table) SetPriority(path string, priority int) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.findLocked(segs)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	e.priority = priority
+	return nil
+}
+
+// SetPinned marks or unmarks path's placement as administratively fixed.
+func (t *Table) SetPinned(path string, pinned bool) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.findLocked(segs)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	e.pinned = pinned
+	return nil
+}
+
+// ResetHits zeroes every entry's hit counter, starting a new accounting
+// interval for the load balancer.
+func (t *Table) ResetHits() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	walkNodes(t.root, func(e *entry) { e.hits.Store(0) })
+}
+
+// Walk invokes fn for a snapshot of every entry, in unspecified order.
+func (t *Table) Walk(fn func(Record)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	walkNodes(t.root, func(e *entry) { fn(e.snapshot()) })
+}
+
+// walkNodes visits every leaf entry below n.
+func walkNodes(n *node, fn func(*entry)) {
+	if n.leaf != nil {
+		fn(n.leaf)
+	}
+	for _, child := range n.children {
+		walkNodes(child, fn)
+	}
+}
+
+// EntriesAt returns snapshots of all entries replicated on node, sorted by
+// descending hits (hottest first), the order the offloader inspects them.
+func (t *Table) EntriesAt(node config.NodeID) []Record {
+	var out []Record
+	t.Walk(func(r Record) {
+		if r.HasLocation(node) {
+			out = append(out, r)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// MemoryBytes returns the estimated resident size of the table, the
+// quantity the §5.2 experiment reports (~260 KB for ~8700 objects in the
+// paper's C implementation).
+func (t *Table) MemoryBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.memBytes
+}
+
+// Stats reports lookup-path effectiveness.
+type Stats struct {
+	Lookups   int64
+	CacheHits int64
+	Entries   int
+	MemBytes  int64
+}
+
+// Stats returns a snapshot of table counters.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	size := t.size
+	mem := t.memBytes
+	t.mu.RUnlock()
+	return Stats{
+		Lookups:   t.lookups.Load(),
+		CacheHits: t.cacheHits.Load(),
+		Entries:   size,
+		MemBytes:  mem,
+	}
+}

@@ -1,0 +1,51 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"webcluster/internal/workload"
+)
+
+// ExampleZipf demonstrates the popularity sampler behind every workload:
+// rank 0 is drawn far more often than the tail.
+func ExampleZipf() {
+	z, err := workload.NewZipf(1000, 0.9, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	counts := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	fmt.Printf("rank 0 drawn more than rank 500: %v\n", counts[0] > counts[500])
+	fmt.Printf("p(0) > 10*p(99): %v\n", z.Probability(0) > 10*z.Probability(99))
+
+	// Output:
+	// rank 0 drawn more than rank 500: true
+	// p(0) > 10*p(99): true
+}
+
+// ExampleBuildSite shows the two paper workloads at a glance.
+func ExampleBuildSite() {
+	siteA, _ := workload.BuildSite(workload.KindA, 1000, 1)
+	siteB, _ := workload.BuildSite(workload.KindB, 1000, 1)
+	dynB := 0
+	for _, o := range siteB.Objects() {
+		if o.Class.Dynamic() {
+			dynB++
+		}
+	}
+	dynA := 0
+	for _, o := range siteA.Objects() {
+		if o.Class.Dynamic() {
+			dynA++
+		}
+	}
+	fmt.Printf("workload A dynamic objects: %d\n", dynA)
+	fmt.Printf("workload B has dynamic objects: %v\n", dynB > 50)
+
+	// Output:
+	// workload A dynamic objects: 0
+	// workload B has dynamic objects: true
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+
+	"webcluster/internal/content"
+)
+
+// Kind names the two paper workloads.
+type Kind int
+
+// Workloads.
+const (
+	// KindA is Workload A: static content only (§5.1).
+	KindA Kind = iota + 1
+	// KindB is Workload B: static plus a significant amount of dynamic
+	// content (CGI and ASP) and video files (§5.1).
+	KindB
+)
+
+// String names the workload.
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "A"
+	case KindB:
+		return "B"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SiteParams returns the content-generation parameters for a workload at
+// the given scale.
+func SiteParams(kind Kind, objects int, seed int64) (content.GenParams, error) {
+	p := content.DefaultGenParams()
+	p.Objects = objects
+	p.Seed = seed
+	switch kind {
+	case KindA:
+		p.DynamicFraction = 0
+		p.VideoFraction = 0.003
+	case KindB:
+		// A "significant amount" of dynamic content: 10% of objects,
+		// interleaved through the popularity ranking so dynamic
+		// requests form roughly that share of traffic.
+		p.DynamicFraction = 0.10
+		p.VideoFraction = 0.003
+	default:
+		return content.GenParams{}, fmt.Errorf("workload: unknown kind %v", kind)
+	}
+	return p, nil
+}
+
+// BuildSite generates the site for a workload.
+func BuildSite(kind Kind, objects int, seed int64) (*content.Site, error) {
+	p, err := SiteParams(kind, objects, seed)
+	if err != nil {
+		return nil, err
+	}
+	site, err := content.GenerateSite(p)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", kind, err)
+	}
+	return site, nil
+}
+
+// Generator draws a request stream over a site: Zipf-ranked object
+// selection, one stream per client. Construct with NewGenerator.
+type Generator struct {
+	site *content.Site
+	zipf *Zipf
+}
+
+// NewGenerator returns a request generator over site with the given Zipf
+// exponent and seed.
+func NewGenerator(site *content.Site, zipfS float64, seed int64) (*Generator, error) {
+	z, err := NewZipf(site.Len(), zipfS, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{site: site, zipf: z}, nil
+}
+
+// Next draws the next requested object.
+func (g *Generator) Next() content.Object {
+	return g.site.ByRank(g.zipf.Next())
+}
+
+// Site returns the underlying site.
+func (g *Generator) Site() *content.Site { return g.site }
+
+// DefaultZipfS is the popularity skew used throughout the evaluation.
+const DefaultZipfS = 0.9

@@ -1,0 +1,64 @@
+// Package workload generates synthetic web workloads with the invariants
+// the paper's evaluation relies on (§5.1, citing Arlitt & Williamson,
+// Arlitt & Jin, Barford & Crovella): Zipf-skewed document popularity,
+// heavy-tailed file sizes (via internal/content's site generator) and
+// WebBench-style closed-loop request clients. Workload A is all-static;
+// Workload B mixes in a significant share of CGI and ASP requests.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. It is deterministic for a given seed and safe for
+// single-goroutine use; give each client its own sampler. Construct with
+// NewZipf.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf returns a sampler over n ranks with exponent s (web popularity
+// studies place s near 0.8–1.0).
+func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive rank count %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: non-positive zipf exponent %g", s)
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Probability returns the sampling probability of rank i.
+func (z *Zipf) Probability(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
