@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all vet build test race chaos ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; -short keeps the slow simulation
+# benchmarks out of the hot path (matches the CI gate).
+race:
+	$(GO) test -race -short ./...
+
+# Just the chaos suite. Override the scenario seeds with
+# CHAOS_SEED=<n> make chaos to replay a failing schedule.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
+
+ci: vet build test race

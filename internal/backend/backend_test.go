@@ -17,6 +17,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/httpx"
+	"webcluster/internal/testutil"
 )
 
 func testSpec(id string) config.NodeSpec {
@@ -141,6 +142,7 @@ func TestPropertySynthesizeBodyLength(t *testing.T) {
 
 func newTestServer(t *testing.T, store Store) *Server {
 	t.Helper()
+	testutil.NoLeaks(t) // registered before Close so it checks last
 	if store == nil {
 		store = &MemStore{}
 	}

@@ -13,6 +13,7 @@ import (
 	"webcluster/internal/cache"
 	"webcluster/internal/config"
 	"webcluster/internal/content"
+	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/metrics"
 )
@@ -46,6 +47,10 @@ type ServerOptions struct {
 	PageCacheBytes int64
 	// Delay injects emulated service time; nil for none.
 	Delay DelayFunc
+	// Faults, when non-nil, injects connection faults at the accept path
+	// (points "backend.accept/<id>" for refusal and "backend.conn/<id>"
+	// for per-connection stream faults). Tests only.
+	Faults *faults.Injector
 }
 
 // Server is one back-end web-server node. Construct with NewServer.
@@ -54,6 +59,7 @@ type Server struct {
 	store     Store
 	pageCache *cache.LRU
 	delay     DelayFunc
+	faults    *faults.Injector
 
 	mu       sync.Mutex
 	handlers map[string]DynamicHandler // keyed by exact path
@@ -95,6 +101,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		store:     opts.Store,
 		pageCache: cache.NewLRU(cacheBytes),
 		delay:     opts.Delay,
+		faults:    opts.Faults,
 		handlers:  make(map[string]DynamicHandler),
 		conns:     make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
@@ -283,6 +290,11 @@ func (s *Server) Start(addr string) (string, error) {
 
 // serveConn runs the keep-alive request loop for one connection.
 func (s *Server) serveConn(conn net.Conn) {
+	if err := s.faults.Fail("backend.accept/" + string(s.spec.ID)); err != nil {
+		_ = conn.Close()
+		return
+	}
+	conn = s.faults.Conn("backend.conn/"+string(s.spec.ID), conn)
 	s.mu.Lock()
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()

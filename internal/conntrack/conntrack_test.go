@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"webcluster/internal/config"
+	"webcluster/internal/testutil"
 )
 
 func TestStateStrings(t *testing.T) {
@@ -299,10 +300,9 @@ func TestPoolPrefork(t *testing.T) {
 	if p.IdleCount("n1") != 3 || p.IdleCount("n2") != 3 {
 		t.Fatalf("idle counts = %d, %d", p.IdleCount("n1"), p.IdleCount("n2"))
 	}
-	deadline := time.Now().Add(time.Second)
-	for accepted.Load() < 6 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, time.Second, func() bool {
+		return accepted.Load() >= 6
+	}, "server accepted %d connections, want 6", accepted.Load())
 	if got := accepted.Load(); got != 6 {
 		t.Fatalf("server accepted %d connections, want 6", got)
 	}
@@ -332,10 +332,9 @@ func TestPoolAcquireReusesIdle(t *testing.T) {
 		t.Fatalf("uses = %d", pc2.Uses)
 	}
 	p.Release(pc2)
-	deadline := time.Now().Add(time.Second)
-	for accepted.Load() < 2 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.Eventually(t, time.Second, func() bool {
+		return accepted.Load() >= 2
+	}, "server never saw the preforked pair")
 	if got := accepted.Load(); got != 2 {
 		t.Fatalf("accepted = %d, want only the preforked pair", got)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"webcluster/internal/config"
+	"webcluster/internal/faults"
 )
 
 // ErrPoolClosed reports use of a closed pool.
@@ -47,6 +48,7 @@ type Pool struct {
 	dial     Dialer
 	prefork  int
 	max      int
+	faults   *faults.Injector
 	mu       sync.Mutex
 	nodes    map[config.NodeID]*nodePool
 	closed   bool
@@ -72,6 +74,23 @@ func NewPool(dial Dialer, prefork, max int) *Pool {
 		max:     max,
 		nodes:   make(map[config.NodeID]*nodePool),
 	}
+}
+
+// SetFaults attaches a fault injector consulted at the dial and checkout
+// paths (points "pool.dial/<node>", "pool.conn/<node>" and
+// "pool.checkout/<node>"). Call before traffic; nil (the default) injects
+// nothing.
+func (p *Pool) SetFaults(in *faults.Injector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = in
+}
+
+// injector returns the attached injector (possibly nil).
+func (p *Pool) injector() *faults.Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
 }
 
 // nodeFor returns (creating if needed) the per-node pool.
@@ -117,10 +136,15 @@ func (p *Pool) Prefork(nodes []config.NodeID) error {
 
 // dialNode opens one new connection to node.
 func (p *Pool) dialNode(node config.NodeID) (*PooledConn, error) {
+	in := p.injector()
+	if err := in.Fail("pool.dial/" + string(node)); err != nil {
+		return nil, fmt.Errorf("dialing %s: %w", node, err)
+	}
 	conn, err := p.dial(node)
 	if err != nil {
 		return nil, fmt.Errorf("dialing %s: %w", node, err)
 	}
+	conn = in.Conn("pool.conn/"+string(node), conn)
 	return &PooledConn{Node: node, Conn: conn, Reader: bufio.NewReader(conn)}, nil
 }
 
@@ -128,6 +152,9 @@ func (p *Pool) dialNode(node config.NodeID) (*PooledConn, error) {
 // one, dialing a fresh one when under the per-node maximum, and otherwise
 // blocking until a connection is released.
 func (p *Pool) Acquire(node config.NodeID) (*PooledConn, error) {
+	if err := p.injector().Fail("pool.checkout/" + string(node)); err != nil {
+		return nil, fmt.Errorf("checkout %s: %w", node, err)
+	}
 	np, err := p.nodeFor(node)
 	if err != nil {
 		return nil, err

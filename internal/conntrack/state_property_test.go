@@ -1,0 +1,129 @@
+package conntrack
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// validStates and allEvents enumerate the machine's domain for the
+// property tests.
+var validStates = []State{
+	StateSynReceived, StateEstablished, StateBound,
+	StateFinReceived, StateHalfClosed, StateClosed,
+}
+
+var allEvents = []Event{
+	EventHandshakeDone, EventRequestBound, EventRequestDone,
+	EventClientFin, EventFinAcked, EventLastAck, EventReset,
+}
+
+// randomEvents is a quick.Generator producing arbitrary event sequences.
+type randomEvents []Event
+
+// Generate implements quick.Generator.
+func (randomEvents) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	evs := make(randomEvents, n)
+	for i := range evs {
+		evs[i] = allEvents[r.Intn(len(allEvents))]
+	}
+	return reflect.ValueOf(evs)
+}
+
+// TestNextStaysInDomain: driving any event sequence from the initial
+// state never leaves the valid state set, and an error never moves the
+// state.
+func TestNextStaysInDomain(t *testing.T) {
+	inDomain := func(s State) bool {
+		for _, v := range validStates {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+	prop := func(evs randomEvents) bool {
+		s := StateSynReceived
+		for _, ev := range evs {
+			next, err := Next(s, ev)
+			if err != nil {
+				var bad *ErrBadTransition
+				if !errors.As(err, &bad) {
+					return false
+				}
+				if next != s {
+					return false // error must leave the state unchanged
+				}
+				continue
+			}
+			if !inDomain(next) {
+				return false
+			}
+			s = next
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedIsTerminal: once CLOSED, every event is rejected and the
+// state never changes.
+func TestClosedIsTerminal(t *testing.T) {
+	prop := func(evs randomEvents) bool {
+		for _, ev := range evs {
+			next, err := Next(StateClosed, ev)
+			if err == nil || next != StateClosed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetAlwaysCloses: from every non-closed valid state, EventReset
+// jumps straight to CLOSED.
+func TestResetAlwaysCloses(t *testing.T) {
+	for _, s := range validStates {
+		next, err := Next(s, EventReset)
+		if s == StateClosed {
+			if err == nil {
+				t.Fatalf("reset accepted in CLOSED")
+			}
+			continue
+		}
+		if err != nil || next != StateClosed {
+			t.Fatalf("Next(%s, RESET) = %s, %v", s, next, err)
+		}
+	}
+}
+
+// TestClosedReachableFromEverywhere: from any valid state some event
+// sequence reaches CLOSED — no state can strand a connection.
+func TestClosedReachableFromEverywhere(t *testing.T) {
+	for _, start := range validStates {
+		reached := map[State]bool{start: true}
+		frontier := []State{start}
+		for len(frontier) > 0 {
+			s := frontier[0]
+			frontier = frontier[1:]
+			for _, ev := range allEvents {
+				next, err := Next(s, ev)
+				if err == nil && !reached[next] {
+					reached[next] = true
+					frontier = append(frontier, next)
+				}
+			}
+		}
+		if !reached[StateClosed] {
+			t.Fatalf("CLOSED unreachable from %s", start)
+		}
+	}
+}

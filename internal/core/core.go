@@ -19,6 +19,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/distributor"
+	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
@@ -145,6 +146,10 @@ type Options struct {
 	// nodes whose broker stops answering are taken out of routing until
 	// they recover.
 	MonitorInterval time.Duration
+	// Faults, when non-nil, threads a fault injector through every
+	// network layer (backend accept paths, distributor pool, monitor
+	// probes) for chaos testing. Production launches leave it nil.
+	Faults *faults.Injector
 }
 
 // DefaultSpec returns a 3-node heterogeneous development cluster.
@@ -216,9 +221,10 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 			delay = opts.DelayFor(ns)
 		}
 		srv, serr := backend.NewServer(backend.ServerOptions{
-			Spec:  ns,
-			Store: store,
-			Delay: delay,
+			Spec:   ns,
+			Store:  store,
+			Delay:  delay,
+			Faults: opts.Faults,
 		})
 		if serr != nil {
 			return nil, fmt.Errorf("core: node %s: %w", ns.ID, serr)
@@ -253,6 +259,7 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		Cluster:        spec,
 		Picker:         opts.Picker,
 		PreforkPerNode: opts.PreforkPerNode,
+		Faults:         opts.Faults,
 	})
 	if derr != nil {
 		return nil, fmt.Errorf("core: %w", derr)
@@ -296,6 +303,7 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 			func(ev monitor.Event) {
 				c.Distributor.SetAvailable(config.NodeID(ev.Node), ev.Up)
 			})
+		c.Monitor.SetFaults(opts.Faults)
 		c.Monitor.Start()
 	}
 	return c, nil

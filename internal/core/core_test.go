@@ -10,6 +10,7 @@ import (
 	"webcluster/internal/content"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
+	"webcluster/internal/testutil"
 	"webcluster/internal/workload"
 )
 
@@ -196,14 +197,10 @@ func TestConsoleIntegration(t *testing.T) {
 
 func TestAutoBalancerLoopRuns(t *testing.T) {
 	cluster := launch(t, Options{BalanceInterval: 30 * time.Millisecond})
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if rounds, _ := cluster.Balancer.Rounds(); rounds >= 2 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatal("balancer loop did not run")
+	testutil.Eventually(t, 2*time.Second, func() bool {
+		rounds, _ := cluster.Balancer.Rounds()
+		return rounds >= 2
+	}, "balancer loop did not run")
 }
 
 func TestSummary(t *testing.T) {
@@ -278,16 +275,9 @@ func TestMonitorMarksDeadNodeUnroutable(t *testing.T) {
 	_ = cluster.Nodes["mid-1"].Broker.Close()
 
 	// The monitor should flag it down within a few probe intervals.
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if !cluster.Distributor.Available("mid-1") {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if cluster.Distributor.Available("mid-1") {
-		t.Fatal("monitor never marked the dead node down")
-	}
+	testutil.Eventually(t, 3*time.Second, func() bool {
+		return !cluster.Distributor.Available("mid-1")
+	}, "monitor never marked the dead node down")
 	// All traffic lands on the survivor.
 	for i := 0; i < 5; i++ {
 		resp, err := cluster.Get("/ha.html")
@@ -335,18 +325,16 @@ func TestAutoBalanceLiveLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Within a few intervals the hottest object must gain replicas.
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
+	testutil.Eventually(t, 3*time.Second, func() bool {
 		rec, err := cluster.Table.Lookup(site.ByRank(0).Path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(rec.Locations) > 1 {
-			return // auto-replication happened
+			return true // auto-replication happened
 		}
 		// Keep a trickle of load so intervals are non-empty.
 		_, _ = cluster.Get(site.ByRank(0).Path)
-		time.Sleep(50 * time.Millisecond)
-	}
-	t.Fatal("background balancer never replicated the hot object")
+		return false
+	}, "background balancer never replicated the hot object")
 }

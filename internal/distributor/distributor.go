@@ -22,6 +22,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/conntrack"
 	"webcluster/internal/content"
+	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/metrics"
@@ -58,6 +59,20 @@ type Options struct {
 	// completed request (the distributor sees every request, so this is
 	// the natural place to record the site's traffic for later replay).
 	AccessLog io.Writer
+	// ExchangeTimeout bounds each back-end exchange attempt (write +
+	// response read) so one stalled back end cannot hang a relay
+	// goroutine; default 10s, negative disables.
+	ExchangeTimeout time.Duration
+	// ExchangeRetries is how many additional pooled connections one
+	// exchange tries after a failure before reporting it (each retry
+	// waits RetryBackoff, doubling); default 1.
+	ExchangeRetries int
+	// RetryBackoff is the initial pause before an exchange retry;
+	// default 5ms, negative disables.
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects connection faults at the pool dial
+	// and relay paths (tests only).
+	Faults *faults.Injector
 }
 
 // Distributor is the content-aware front end. Construct with New.
@@ -76,6 +91,10 @@ type Distributor struct {
 	// loads holds the latest interval L_j per node for load-aware
 	// pickers (loadbal.LeastLoad).
 	loads sync.Map // config.NodeID → float64
+
+	exchangeTimeout time.Duration
+	exchangeRetries int
+	retryBackoff    time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -123,6 +142,22 @@ func New(opts Options) (*Distributor, error) {
 	if weights == (loadbal.CostWeights{}) {
 		weights = loadbal.PaperWeights()
 	}
+	exchangeTimeout := opts.ExchangeTimeout
+	if exchangeTimeout == 0 {
+		exchangeTimeout = 10 * time.Second
+	} else if exchangeTimeout < 0 {
+		exchangeTimeout = 0
+	}
+	exchangeRetries := opts.ExchangeRetries
+	if exchangeRetries <= 0 {
+		exchangeRetries = 1
+	}
+	retryBackoff := opts.RetryBackoff
+	if retryBackoff == 0 {
+		retryBackoff = 5 * time.Millisecond
+	} else if retryBackoff < 0 {
+		retryBackoff = 0
+	}
 	d := &Distributor{
 		table:     opts.Table,
 		cluster:   opts.Cluster,
@@ -133,6 +168,10 @@ func New(opts Options) (*Distributor, error) {
 		conns:     make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
 		accessLog: opts.AccessLog,
+
+		exchangeTimeout: exchangeTimeout,
+		exchangeRetries: exchangeRetries,
+		retryBackoff:    retryBackoff,
 	}
 	addrs := make(map[config.NodeID]string, len(opts.Cluster.Nodes))
 	for _, n := range opts.Cluster.Nodes {
@@ -144,8 +183,9 @@ func New(opts Options) (*Distributor, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: unknown node %s", ErrNoBackend, node)
 		}
-		return net.Dial("tcp", addr)
+		return net.DialTimeout("tcp", addr, 2*time.Second)
 	}, prefork, maxConns)
+	d.pool.SetFaults(opts.Faults)
 	return d, nil
 }
 
@@ -382,7 +422,11 @@ func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req
 }
 
 // exchange sends req over a pre-forked connection to node and reads the
-// response, retrying once on a stale pooled connection.
+// response. Each attempt runs under the exchange deadline so a stalled or
+// slow-loris back end surfaces as a timeout instead of hanging the relay
+// goroutine; failed attempts discard the connection and retry (bounded,
+// with doubling backoff) — a stale keep-alive connection is the common
+// recoverable case.
 func (d *Distributor) exchange(node config.NodeID, req *httpx.Request) (*httpx.Response, error) {
 	// Toward the back end the distributor always speaks HTTP/1.1
 	// keep-alive so the pre-forked connection survives the exchange.
@@ -398,20 +442,20 @@ func (d *Distributor) exchange(node config.NodeID, req *httpx.Request) (*httpx.R
 	fwd.Header.Del("Connection")
 
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	backoff := d.retryBackoff
+	for attempt := 0; attempt <= d.exchangeRetries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
 		pc, err := d.pool.Acquire(node)
 		if err != nil {
 			return nil, fmt.Errorf("acquiring connection to %s: %w", node, err)
 		}
-		if err := httpx.WriteRequest(pc.Conn, fwd); err != nil {
-			d.pool.Discard(pc)
-			lastErr = fmt.Errorf("forwarding to %s: %w", node, err)
-			continue
-		}
-		resp, err := httpx.ReadResponse(pc.Reader)
+		resp, err := d.attemptExchange(pc, fwd)
 		if err != nil {
 			d.pool.Discard(pc)
-			lastErr = fmt.Errorf("reading from %s: %w", node, err)
+			lastErr = fmt.Errorf("exchange with %s: %w", node, err)
 			continue
 		}
 		if resp.KeepAlive() {
@@ -422,6 +466,29 @@ func (d *Distributor) exchange(node config.NodeID, req *httpx.Request) (*httpx.R
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// attemptExchange runs one write+read round trip under the exchange
+// deadline, clearing it afterwards so the connection can be pooled again.
+func (d *Distributor) attemptExchange(pc *conntrack.PooledConn, fwd *httpx.Request) (*httpx.Response, error) {
+	if d.exchangeTimeout > 0 {
+		if err := pc.Conn.SetDeadline(time.Now().Add(d.exchangeTimeout)); err != nil {
+			return nil, fmt.Errorf("arming deadline: %w", err)
+		}
+	}
+	if err := httpx.WriteRequest(pc.Conn, fwd); err != nil {
+		return nil, fmt.Errorf("forwarding: %w", err)
+	}
+	resp, err := httpx.ReadResponse(pc.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("reading: %w", err)
+	}
+	if d.exchangeTimeout > 0 {
+		if err := pc.Conn.SetDeadline(time.Time{}); err != nil {
+			return nil, fmt.Errorf("clearing deadline: %w", err)
+		}
+	}
+	return resp, nil
 }
 
 // logAccess appends one CLF line to the access log, if configured.

@@ -13,6 +13,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/httpx"
+	"webcluster/internal/testutil"
 	"webcluster/internal/urltable"
 )
 
@@ -27,7 +28,14 @@ type testCluster struct {
 
 // startCluster launches n backends and a distributor over them.
 func startCluster(t *testing.T, n int) *testCluster {
+	return startClusterOpts(t, n, nil)
+}
+
+// startClusterOpts is startCluster with a hook to adjust the distributor
+// options (fault injectors, timeouts) before New.
+func startClusterOpts(t *testing.T, n int, tweak func(*Options)) *testCluster {
 	t.Helper()
+	testutil.NoLeaks(t) // registered first so it checks after all closes
 	spec := config.ClusterSpec{DistributorCPUMHz: 350}
 	backends := make(map[config.NodeID]*backend.Server, n)
 	for i := 0; i < n; i++ {
@@ -55,7 +63,11 @@ func startCluster(t *testing.T, n int) *testCluster {
 		t.Cleanup(func() { _ = srv.Close() })
 	}
 	table := urltable.New(urltable.Options{CacheEntries: 64})
-	dist, err := New(Options{Table: table, Cluster: spec, PreforkPerNode: 2})
+	opts := Options{Table: table, Cluster: spec, PreforkPerNode: 2}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	dist, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,13 +247,9 @@ func TestHTTP10ClosesAfterResponse(t *testing.T) {
 		t.Fatal("distributor held the connection open")
 	}
 	// Mapping entry cleaned up.
-	deadline := time.Now().Add(time.Second)
-	for tc.dist.Mapping().Len() != 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if tc.dist.Mapping().Len() != 0 {
-		t.Fatalf("mapping entries leaked: %d", tc.dist.Mapping().Len())
-	}
+	testutil.Eventually(t, time.Second, func() bool {
+		return tc.dist.Mapping().Len() == 0
+	}, "mapping entries leaked: %d", tc.dist.Mapping().Len())
 }
 
 func TestMappingCleanupOnEOF(t *testing.T) {
@@ -253,17 +261,13 @@ func TestMappingCleanupOnEOF(t *testing.T) {
 	}
 	// Send nothing; close immediately (client FIN with no request).
 	_ = conn.Close()
-	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) {
-		if tc.dist.Mapping().Len() == 0 {
-			installed, deleted, _ := tc.dist.Mapping().Counts()
-			if installed >= 1 && deleted == installed {
-				return
-			}
+	testutil.Eventually(t, time.Second, func() bool {
+		if tc.dist.Mapping().Len() != 0 {
+			return false
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("mapping not cleaned after client EOF: len=%d", tc.dist.Mapping().Len())
+		installed, deleted, _ := tc.dist.Mapping().Counts()
+		return installed >= 1 && deleted == installed
+	}, "mapping not cleaned after client EOF")
 }
 
 func TestTrackerRecordsLoad(t *testing.T) {
@@ -396,7 +400,8 @@ func TestFailoverReplicationAndTakeover(t *testing.T) {
 	}
 
 	// Let at least one snapshot land, then kill the primary.
-	time.Sleep(150 * time.Millisecond)
+	testutil.Eventually(t, 2*time.Second, b.StateReceived,
+		"backup never received a snapshot")
 	_ = repl.Close()
 	_ = tc.dist.Close()
 

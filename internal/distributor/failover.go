@@ -12,6 +12,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/conntrack"
 	"webcluster/internal/content"
+	"webcluster/internal/faults"
 	"webcluster/internal/urltable"
 )
 
@@ -64,6 +65,10 @@ type replMessage struct {
 type ReplicationServer struct {
 	d        *Distributor
 	interval time.Duration
+	// writeTimeout bounds each stream write so one stalled backup
+	// cannot pin its feed goroutine (and its connection slot) forever.
+	writeTimeout time.Duration
+	faults       *faults.Injector
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -79,13 +84,23 @@ func NewReplicationServer(d *Distributor, interval time.Duration) *ReplicationSe
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
+	writeTimeout := 4 * interval
+	if writeTimeout < time.Second {
+		writeTimeout = time.Second
+	}
 	return &ReplicationServer{
-		d:        d,
-		interval: interval,
-		conns:    make(map[net.Conn]struct{}),
-		closed:   make(chan struct{}),
+		d:            d,
+		interval:     interval,
+		writeTimeout: writeTimeout,
+		conns:        make(map[net.Conn]struct{}),
+		closed:       make(chan struct{}),
 	}
 }
+
+// SetFaults attaches a fault injector to the replication stream (point
+// "repl.feed": truncation, corruption, stalls on the feed toward
+// backups). Call before Start.
+func (rs *ReplicationServer) SetFaults(in *faults.Injector) { rs.faults = in }
 
 // Start listens for backups on addr (":0" for ephemeral), returning the
 // bound address.
@@ -105,6 +120,7 @@ func (rs *ReplicationServer) Start(addr string) (string, error) {
 			if err != nil {
 				return
 			}
+			conn = rs.faults.Conn("repl.feed", conn)
 			rs.mu.Lock()
 			select {
 			case <-rs.closed:
@@ -165,13 +181,22 @@ func (rs *ReplicationServer) snapshot() replMessage {
 	}
 }
 
-// feed streams heartbeats and snapshots to one backup until error or close.
+// feed streams heartbeats and snapshots to one backup until error or
+// close. Every write runs under the write deadline: a backup that stops
+// draining (slow-loris reader) gets its stream cut instead of wedging the
+// feed goroutine.
 func (rs *ReplicationServer) feed(conn net.Conn) {
 	enc := json.NewEncoder(conn)
+	send := func(msg replMessage) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(rs.writeTimeout)); err != nil {
+			return err
+		}
+		return enc.Encode(msg)
+	}
 	ticker := time.NewTicker(rs.interval)
 	defer ticker.Stop()
 	// Immediate first snapshot so a new backup is current at once.
-	if err := enc.Encode(rs.snapshot()); err != nil {
+	if err := send(rs.snapshot()); err != nil {
 		return
 	}
 	hb := 0
@@ -189,7 +214,7 @@ func (rs *ReplicationServer) feed(conn net.Conn) {
 				msg = replMessage{Type: "hb"}
 			}
 			hb++
-			if err := enc.Encode(msg); err != nil {
+			if err := send(msg); err != nil {
 				return
 			}
 		}
@@ -256,7 +281,9 @@ func NewBackup(replAddr string, timeout time.Duration, promote PromoteFunc) *Bac
 
 // Start begins monitoring in the background.
 func (b *Backup) Start() error {
-	conn, err := net.Dial("tcp", b.replAddr)
+	// The dial is bounded like the reads: an unresponsive primary at
+	// connect time should not block backup startup indefinitely.
+	conn, err := net.DialTimeout("tcp", b.replAddr, b.timeout)
 	if err != nil {
 		return fmt.Errorf("backup: connecting to primary: %w", err)
 	}
@@ -296,6 +323,14 @@ func (b *Backup) monitor(conn net.Conn) {
 			b.mu.Unlock()
 		}
 	}
+}
+
+// StateReceived reports whether at least one full snapshot has landed —
+// the point after which a takeover can restore state.
+func (b *Backup) StateReceived() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastState.Cluster != nil
 }
 
 // takeover rebuilds the distributor from replicated state via promote.

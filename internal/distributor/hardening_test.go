@@ -1,0 +1,94 @@
+package distributor
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"webcluster/internal/faults"
+	"webcluster/internal/httpx"
+	"webcluster/internal/testutil"
+)
+
+// TestExchangeTimeoutFailsOverStalledBackend: a slow-loris back end (its
+// pooled connections never deliver a response) must surface as an
+// exchange timeout and fail over to the healthy replica — the request
+// succeeds and no relay goroutine is left hanging. Reverting the
+// exchange deadline in attemptExchange makes this test hang.
+func TestExchangeTimeoutFailsOverStalledBackend(t *testing.T) {
+	in := faults.New(1)
+	tc := startClusterOpts(t, 2, func(o *Options) {
+		o.Faults = in
+		o.ExchangeTimeout = 150 * time.Millisecond
+		o.RetryBackoff = time.Millisecond
+	})
+	tc.place(t, "/ha.html", []byte("alive"), "n1", "n2")
+
+	// Stall every distributor→n1 connection: responses never arrive.
+	in.Set("pool.conn/n1", faults.Rule{ReadStall: time.Minute})
+
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		resp := fetch(t, tc.front, "/ha.html", httpx.Proto11)
+		if resp.StatusCode != 200 || string(resp.Body) != "alive" {
+			t.Fatalf("request %d = %d %q", i, resp.StatusCode, resp.Body)
+		}
+		if got := resp.Header.Get("X-Served-By"); got != "n2" {
+			t.Fatalf("request %d served by %s with n1 stalled", i, got)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("failover took %v — deadlines not bounding the stall", elapsed)
+	}
+	if in.Fired("pool.conn/n1") == 0 {
+		t.Fatal("stall rule never fired — test exercised nothing")
+	}
+}
+
+// TestReplicationFeedCutsStalledBackup: a backup whose link stalls longer
+// than the feed's write deadline gets its stream cut instead of pinning
+// the feed goroutine; the server still shuts down promptly. Reverting the
+// SetWriteDeadline in feed() makes the stream survive (this test fails)
+// and a genuinely blocked peer would wedge Close.
+func TestReplicationFeedCutsStalledBackup(t *testing.T) {
+	testutil.NoLeaks(t)
+	tc := startCluster(t, 1)
+	in := faults.New(2)
+	repl := NewReplicationServer(tc.dist, 30*time.Millisecond)
+	repl.SetFaults(in)
+	// Every feed write stalls past the write deadline (max(4×30ms, 1s)).
+	in.Set("repl.feed", faults.Rule{Latency: 1500 * time.Millisecond})
+	replAddr, err := repl.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = repl.Close() }()
+
+	conn, err := net.Dial("tcp", replAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	// The first snapshot write blows its deadline: the server cuts the
+	// stream, and this read observes the close rather than hanging. If
+	// the write deadline were removed the delayed writes would keep
+	// succeeding and this loop would only end at its own read deadline.
+	cutStart := time.Now()
+	buf := make([]byte, 4096)
+	for {
+		if _, rerr := conn.Read(buf); rerr != nil {
+			break
+		}
+	}
+	if elapsed := time.Since(cutStart); elapsed > 8*time.Second {
+		t.Fatalf("stream not cut by the write deadline (ran %v)", elapsed)
+	}
+	start := time.Now()
+	if err := repl.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close blocked %v on the stalled feed", elapsed)
+	}
+}

@@ -1,0 +1,141 @@
+// Chaos harness: a seeded scenario runner. A Scenario is a fault schedule
+// — rule changes and process-level actions at offsets from the scenario
+// start — applied against an Injector while the test drives traffic. The
+// reproducibility contract: a scenario is fully determined by (seed,
+// steps); the harness prints the seed so a failed run can be replayed with
+// CHAOS_SEED=<seed> (see Seed and DESIGN.md §8).
+
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Step is one scheduled schedule entry.
+type Step struct {
+	// At is the offset from scenario start at which the step fires.
+	// Steps must be ordered by At.
+	At time.Duration
+	// Point names the fault point the step manipulates ("" for pure
+	// Action steps).
+	Point string
+	// Rule is installed at Point when non-nil; a nil Rule with a
+	// non-empty Point clears it.
+	Rule *Rule
+	// Action is a process-level hook (backend crash/restart, listener
+	// close, ...) run after the rule change, if any.
+	Action func()
+	// Note is logged when the step fires.
+	Note string
+}
+
+// Scenario is a named, seeded fault schedule.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Logf is the logging hook the harness reports through (testing.T.Logf in
+// tests).
+type Logf func(format string, args ...any)
+
+// Harness binds an injector to a logger and runs scenarios against it.
+type Harness struct {
+	In   *Injector
+	logf Logf
+}
+
+// NewHarness returns a harness over a fresh injector seeded with seed,
+// logging through logf (nil for silent). The seed is logged immediately —
+// the replay handle for everything that follows.
+func NewHarness(seed int64, logf Logf) *Harness {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	h := &Harness{In: New(seed), logf: logf}
+	h.logf("chaos: injector seed=%d (rerun with CHAOS_SEED=%d)", seed, seed)
+	return h
+}
+
+// Seed resolves the scenario seed: the CHAOS_SEED environment variable
+// when set (replaying a failed run), otherwise fallback.
+func Seed(fallback int64) int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return fallback
+}
+
+// Run applies sc's steps at their offsets, blocking until the last step
+// has fired or stop is closed. It returns an error when the schedule is
+// malformed (steps out of order). Traffic runs concurrently with Run —
+// start Run in a goroutine, drive the workload, then join.
+func (h *Harness) Run(sc Scenario, stop <-chan struct{}) error {
+	start := time.Now()
+	var prev time.Duration
+	for i, step := range sc.Steps {
+		if step.At < prev {
+			return fmt.Errorf("faults: scenario %s step %d out of order (%v after %v)",
+				sc.Name, i, step.At, prev)
+		}
+		prev = step.At
+		if wait := step.At - time.Since(start); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				h.logf("chaos[%s]: stopped before step %d", sc.Name, i)
+				return nil
+			}
+		}
+		if step.Point != "" {
+			if step.Rule != nil {
+				h.In.Set(step.Point, *step.Rule)
+			} else {
+				h.In.Clear(step.Point)
+			}
+		}
+		if step.Action != nil {
+			step.Action()
+		}
+		h.logf("chaos[%s] t=%v: %s", sc.Name, step.At, stepDesc(step))
+	}
+	return nil
+}
+
+// Go runs sc in a background goroutine, returning a join function that
+// blocks until the schedule finishes and reports its error. The returned
+// stop function aborts the remaining steps.
+func (h *Harness) Go(sc Scenario) (join func() error, stop func()) {
+	stopCh := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- h.Run(sc, stopCh) }()
+	var stopped bool
+	return func() error { return <-errCh },
+		func() {
+			if !stopped {
+				stopped = true
+				close(stopCh)
+			}
+		}
+}
+
+// stepDesc formats a step for the log.
+func stepDesc(s Step) string {
+	switch {
+	case s.Note != "":
+		return s.Note
+	case s.Point != "" && s.Rule != nil:
+		return fmt.Sprintf("set %s %+v", s.Point, *s.Rule)
+	case s.Point != "":
+		return "clear " + s.Point
+	default:
+		return "action"
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Broker is the per-node management daemon (§3.1): it executes agents
@@ -165,27 +166,42 @@ func (b *Broker) Close() error {
 	return err
 }
 
+// DefaultBrokerTimeout bounds one broker call (send + response) unless
+// SetTimeout overrides it. A broker that stops answering — crashed node,
+// black-holed network — fails the call instead of wedging the
+// controller's management loop.
+const DefaultBrokerTimeout = 10 * time.Second
+
 // BrokerClient is the controller's connection to one broker. Construct
 // with DialBroker. Calls are serialized per client.
 type BrokerClient struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *json.Encoder
-	dec    *json.Decoder
-	nextID int64
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	nextID  int64
+	timeout time.Duration
 }
 
 // DialBroker connects to a broker at addr.
 func DialBroker(addr string) (*BrokerClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, DefaultBrokerTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("mgmt: dialing broker %s: %w", addr, err)
 	}
 	return &BrokerClient{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		dec:     json.NewDecoder(conn),
+		timeout: DefaultBrokerTimeout,
 	}, nil
+}
+
+// SetTimeout overrides the per-call deadline (0 disables).
+func (c *BrokerClient) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
 // call performs one request/response exchange.
@@ -194,6 +210,12 @@ func (c *BrokerClient) call(req request) (response, error) {
 	defer c.mu.Unlock()
 	c.nextID++
 	req.ID = c.nextID
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return response{}, fmt.Errorf("mgmt: arming deadline: %w", err)
+		}
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
 	if err := encode(c.enc, req); err != nil {
 		return response{}, err
 	}

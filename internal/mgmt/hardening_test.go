@@ -1,0 +1,85 @@
+package mgmt
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"webcluster/internal/testutil"
+)
+
+// TestBrokerClientTimeoutOnSilentServer: a broker that accepts but never
+// answers (crashed agent loop, black-holed node) must fail the call at
+// the client deadline — this is the path the monitor's prober runs on, so
+// a hang here would freeze failure detection cluster-wide. Reverting the
+// deadline in BrokerClient.call turns this test into a hang.
+func TestBrokerClientTimeoutOnSilentServer(t *testing.T) {
+	testutil.NoLeaks(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c // held open, never read, never answered
+		}
+	}()
+
+	client, err := DialBroker(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	client.SetTimeout(150 * time.Millisecond)
+
+	start := time.Now()
+	_, _, err = client.Invoke("ping", Args{})
+	if err == nil {
+		t.Fatal("invoke against silent broker succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("invoke took %v — deadline not applied", elapsed)
+	}
+	select {
+	case c := <-accepted:
+		_ = c.Close()
+	default:
+	}
+}
+
+// TestBrokerClientRecoversAfterTimeout: a timeout against a live broker
+// does not poison subsequent calls once the deadline allows them through.
+func TestBrokerClientDeadlineClearedOnSuccess(t *testing.T) {
+	testutil.NoLeaks(t)
+	b := NewBroker(Env{Node: "n1"})
+	addr, err := b.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	client, err := DialBroker(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	client.SetTimeout(2 * time.Second)
+	if err := client.Install(Spec{Name: "ping", Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	// Several sequential calls must all finish well under the deadline —
+	// a deadline left armed from a previous call would trip spuriously.
+	for i := 0; i < 3; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if _, _, err := client.Invoke("ping", Args{}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}

@@ -8,6 +8,8 @@ package monitor
 import (
 	"sync"
 	"time"
+
+	"webcluster/internal/faults"
 )
 
 // NodeStatus is one node's health/load snapshot.
@@ -43,6 +45,7 @@ type Watcher struct {
 	probe    Prober
 	interval time.Duration
 	onEvent  func(Event)
+	faults   *faults.Injector
 
 	mu     sync.Mutex
 	nodes  []string
@@ -75,6 +78,15 @@ func NewWatcher(nodes []string, probe Prober, interval time.Duration, onEvent fu
 	}
 }
 
+// SetFaults attaches a fault injector consulted before every probe
+// (point "probe/<node>"): a firing rule black-holes the probe, making
+// the watcher observe the node as unreachable. Call before Start.
+func (w *Watcher) SetFaults(in *faults.Injector) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.faults = in
+}
+
 // Start launches the probe loop in the background.
 func (w *Watcher) Start() {
 	w.wg.Add(1)
@@ -97,9 +109,16 @@ func (w *Watcher) Start() {
 func (w *Watcher) probeAll() {
 	w.mu.Lock()
 	nodes := append([]string(nil), w.nodes...)
+	in := w.faults
 	w.mu.Unlock()
 	for _, n := range nodes {
-		st, err := w.probe(n)
+		var (
+			st  NodeStatus
+			err error
+		)
+		if err = in.Fail("probe/" + n); err == nil {
+			st, err = w.probe(n)
+		}
 		w.mu.Lock()
 		wasAlive := w.alive[n]
 		if err == nil {

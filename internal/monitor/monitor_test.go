@@ -5,6 +5,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"webcluster/internal/faults"
+	"webcluster/internal/testutil"
 )
 
 // fakeProber flips nodes up/down under test control.
@@ -96,21 +99,53 @@ func TestAliveNodesExcludesDown(t *testing.T) {
 }
 
 func TestBackgroundLoop(t *testing.T) {
+	testutil.NoLeaks(t)
 	p := &fakeProber{}
 	w := NewWatcher([]string{"a"}, p.probe, 5*time.Millisecond, nil)
 	w.Start()
 	defer w.Close()
-	deadline := time.Now().Add(time.Second)
-	for time.Now().Before(deadline) {
+	testutil.Eventually(t, time.Second, func() bool {
 		p.mu.Lock()
-		n := p.seen["a"]
-		p.mu.Unlock()
-		if n >= 3 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+		defer p.mu.Unlock()
+		return p.seen["a"] >= 3
+	}, "background loop did not probe repeatedly")
+}
+
+func TestProbeBlackholeMarksNodeDown(t *testing.T) {
+	testutil.NoLeaks(t)
+	p := &fakeProber{}
+	in := faults.New(1)
+	w := NewWatcher([]string{"a", "b"}, p.probe, time.Hour, nil)
+	w.SetFaults(in)
+	w.ProbeNow()
+	if !w.Alive("a") || !w.Alive("b") {
+		t.Fatal("healthy nodes not alive before blackhole")
 	}
-	t.Fatal("background loop did not probe repeatedly")
+	// Black-hole node a's probes: the watcher must see it as down
+	// without the prober ever being consulted for it.
+	in.Set("probe/a", faults.Rule{Refuse: true})
+	p.mu.Lock()
+	seenBefore := p.seen["a"]
+	p.mu.Unlock()
+	w.ProbeNow()
+	if w.Alive("a") {
+		t.Fatal("black-holed node still alive")
+	}
+	if !w.Alive("b") {
+		t.Fatal("unaffected node went down")
+	}
+	p.mu.Lock()
+	seenAfter := p.seen["a"]
+	p.mu.Unlock()
+	if seenAfter != seenBefore {
+		t.Fatal("blackhole leaked a probe through")
+	}
+	// Lifting the blackhole restores liveness on the next round.
+	in.Clear("probe/a")
+	w.ProbeNow()
+	if !w.Alive("a") {
+		t.Fatal("node did not recover after blackhole cleared")
+	}
 }
 
 func TestCloseStopsLoop(t *testing.T) {

@@ -18,8 +18,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"webcluster/internal/backend"
+	"webcluster/internal/faults"
 	"webcluster/internal/metrics"
 )
 
@@ -41,7 +43,8 @@ var ErrRemote = errors.New("nfs: remote error")
 
 // Server exports a Store over the network. Construct with NewServer.
 type Server struct {
-	store backend.Store
+	store  backend.Store
+	faults *faults.Injector
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -64,6 +67,10 @@ func NewServer(store backend.Store) *Server {
 		closed: make(chan struct{}),
 	}
 }
+
+// SetFaults attaches a fault injector to served connections (point
+// "nfs.conn"). Call before Start.
+func (s *Server) SetFaults(in *faults.Injector) { s.faults = in }
 
 // Start listens on addr (":0" for ephemeral) and serves in the background.
 func (s *Server) Start(addr string) (string, error) {
@@ -89,6 +96,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 		if err != nil {
 			return
 		}
+		conn = s.faults.Conn("nfs.conn", conn)
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -210,6 +218,11 @@ func (s *Server) Close() error {
 // concurrent caller via a small free list. Construct with Dial.
 type Client struct {
 	addr string
+	// timeout bounds each operation's network round trip (dial, send,
+	// response) so a hung file server degrades a web node instead of
+	// wedging it; DefaultClientTimeout unless SetTimeout overrides.
+	timeout time.Duration
+	faults  *faults.Injector
 
 	mu    sync.Mutex
 	free  []*clientConn
@@ -221,9 +234,29 @@ type clientConn struct {
 	br   *bufio.Reader
 }
 
+// DefaultClientTimeout bounds client operations unless overridden.
+const DefaultClientTimeout = 10 * time.Second
+
 // Dial returns a client for the file server at addr. The connection is
 // opened lazily per operation.
-func Dial(addr string) *Client { return &Client{addr: addr} }
+func Dial(addr string) *Client {
+	return &Client{addr: addr, timeout: DefaultClientTimeout}
+}
+
+// SetTimeout overrides the per-operation deadline (0 disables).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// SetFaults attaches a fault injector at the dial path (point
+// "nfs.dial").
+func (c *Client) SetFaults(in *faults.Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = in
+}
 
 // getConn pops a pooled connection or dials a new one.
 func (c *Client) getConn() (*clientConn, error) {
@@ -232,6 +265,7 @@ func (c *Client) getConn() (*clientConn, error) {
 		c.mu.Unlock()
 		return nil, errors.New("nfs: client closed")
 	}
+	timeout, in := c.timeout, c.faults
 	if n := len(c.free); n > 0 {
 		cc := c.free[n-1]
 		c.free = c.free[:n-1]
@@ -239,7 +273,14 @@ func (c *Client) getConn() (*clientConn, error) {
 		return cc, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.Dial("tcp", c.addr)
+	if err := in.Fail("nfs.dial"); err != nil {
+		return nil, fmt.Errorf("nfs: dial %s: %w", c.addr, err)
+	}
+	dialTimeout := timeout
+	if dialTimeout <= 0 {
+		dialTimeout = DefaultClientTimeout
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("nfs: dial %s: %w", c.addr, err)
 	}
@@ -271,6 +312,26 @@ func (c *Client) roundTrip(verb, path string, body []byte) ([]byte, error) {
 			_ = cc.conn.Close()
 		}
 	}()
+
+	// Arm the operation deadline: a stalled or black-holed file server
+	// turns into an error here rather than a wedged request goroutine.
+	c.mu.Lock()
+	timeout := c.timeout
+	c.mu.Unlock()
+	if timeout > 0 {
+		if err := cc.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("nfs: arming deadline: %w", err)
+		}
+		defer func() {
+			if ok {
+				// Clear before pooling so the next caller starts fresh.
+				if err := cc.conn.SetDeadline(time.Time{}); err != nil {
+					ok = false
+					_ = cc.conn.Close()
+				}
+			}
+		}()
+	}
 
 	var req strings.Builder
 	fmt.Fprintf(&req, "%s %s\n", verb, path)
