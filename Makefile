@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos ci
+# Benchmarks covered by `make bench` — the relay/routing fast path.
+BENCH_HOT = BenchmarkDistributorRelay$$|BenchmarkDistributorRelayLarge|BenchmarkURLTableLookup|BenchmarkHTTPParse|BenchmarkConnPool|BenchmarkMappingTable
+
+.PHONY: all vet build test race chaos bench ci
 
 all: ci
 
@@ -22,5 +25,12 @@ race:
 # CHAOS_SEED=<n> make chaos to replay a failing schedule.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v .
+
+# Hot-path benchmarks with allocation counts, archived as JSON so runs can
+# be diffed across commits (BENCH_relay.json is the current snapshot).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_relay.json
+	@cat BENCH_relay.json
 
 ci: vet build test race

@@ -16,6 +16,7 @@ package webcluster
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -63,6 +64,7 @@ func buildTable(b *testing.B, cacheEntries int) (*urltable.Table, []string) {
 // 350 MHz distributor for ~8700 objects).
 func BenchmarkURLTableLookup(b *testing.B) {
 	table, paths := buildTable(b, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := table.Route(paths[i&0xffff]); err != nil {
@@ -76,6 +78,7 @@ func BenchmarkURLTableLookup(b *testing.B) {
 // entry cache enabled (the Mogul demultiplexing-speedup ablation).
 func BenchmarkURLTableLookupCached(b *testing.B) {
 	table, paths := buildTable(b, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := table.Route(paths[i&0xffff]); err != nil {
@@ -84,6 +87,32 @@ func BenchmarkURLTableLookupCached(b *testing.B) {
 	}
 	st := table.Stats()
 	b.ReportMetric(100*float64(st.CacheHits)/float64(st.Lookups), "cache-hit-%")
+}
+
+// BenchmarkURLTableLookupParallel drives the routing decision from every
+// CPU at once — the distributor's real shape, where each client connection
+// goroutine calls Route concurrently. With the copy-on-write read path
+// this must scale with GOMAXPROCS instead of serialising on a table lock.
+func BenchmarkURLTableLookupParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		entries int
+	}{{"nocache", 0}, {"cached", 1024}} {
+		b.Run(bc.name, func(b *testing.B) {
+			table, paths := buildTable(b, bc.entries)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := table.Route(paths[i&0xffff]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkURLTableInsert measures table construction cost.
@@ -107,6 +136,7 @@ func BenchmarkURLTableInsert(b *testing.B) {
 // machine: install, handshake, bind, request, teardown.
 func BenchmarkMappingTable(b *testing.B) {
 	mt := conntrack.NewMappingTable()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := conntrack.ClientKey{IP: "10.0.0.1", Port: i & 0xffff}
@@ -146,6 +176,7 @@ func BenchmarkConnPool(b *testing.B) {
 	if err := pool.Prefork([]config.NodeID{"n1"}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pc, err := pool.Acquire("n1")
@@ -156,13 +187,20 @@ func BenchmarkConnPool(b *testing.B) {
 	}
 }
 
-// BenchmarkHTTPParse measures request parsing on the distributor's path.
+// BenchmarkHTTPParse measures request parsing on the distributor's path,
+// shaped like the real keep-alive loop: one pooled reader and one reused
+// Request per connection, many requests parsed through them.
 func BenchmarkHTTPParse(b *testing.B) {
 	raw := []byte("GET /docs/d01/page00123.html HTTP/1.1\r\nHost: cluster\r\nUser-Agent: webbench\r\n\r\n")
+	src := newRepeatReader(raw)
+	br := httpx.AcquireReader(src)
+	defer httpx.ReleaseReader(br)
+	req := httpx.AcquireRequest()
+	defer httpx.ReleaseRequest(req)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		br := bufio.NewReader(newRepeatReader(raw))
-		if _, err := httpx.ReadRequest(br); err != nil {
+		if err := httpx.ReadRequestInto(br, req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -182,6 +220,15 @@ func (r *repeatReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// benchObjects is the content the live-cluster benchmarks fetch: the small
+// page for the per-request overhead number and two large bodies for the
+// streaming-relay throughput numbers.
+var benchObjects = map[string]int{
+	"/bench.html": 4096,
+	"/bench64k":   64 << 10,
+	"/bench1m":    1 << 20,
+}
+
 // liveCluster builds a distributor over two real loopback backends.
 func liveCluster(b *testing.B) (front string, cleanup func()) {
 	b.Helper()
@@ -190,7 +237,9 @@ func liveCluster(b *testing.B) (front string, cleanup func()) {
 	for i := 0; i < 2; i++ {
 		id := config.NodeID(fmt.Sprintf("n%d", i+1))
 		store := &backend.MemStore{}
-		_ = store.Put("/bench.html", backend.SynthesizeBody("/bench.html", 4096))
+		for path, size := range benchObjects {
+			_ = store.Put(path, backend.SynthesizeBody(path, int64(size)))
+		}
 		srv, err := backend.NewServer(backend.ServerOptions{
 			Spec: config.NodeSpec{
 				ID: id, CPUMHz: 350, MemoryMB: 64,
@@ -212,9 +261,11 @@ func liveCluster(b *testing.B) (front string, cleanup func()) {
 		closers = append(closers, func() { _ = srv.Close() })
 	}
 	table := urltable.New(urltable.Options{CacheEntries: 64})
-	obj := content.Object{Path: "/bench.html", Size: 4096, Class: content.ClassHTML}
-	if err := table.Insert(obj, "n1", "n2"); err != nil {
-		b.Fatal(err)
+	for path, size := range benchObjects {
+		obj := content.Object{Path: path, Size: int64(size), Class: content.ClassHTML}
+		if err := table.Insert(obj, "n1", "n2"); err != nil {
+			b.Fatal(err)
+		}
 	}
 	dist, err := distributor.New(distributor.Options{Table: table, Cluster: spec, PreforkPerNode: 4})
 	if err != nil {
@@ -246,8 +297,9 @@ func BenchmarkDistributorRelay(b *testing.B) {
 	br := bufio.NewReader(conn)
 	req := &httpx.Request{
 		Method: "GET", Target: "/bench.html", Path: "/bench.html",
-		Proto: httpx.Proto11, Header: httpx.Header{"Host": "c"},
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := httpx.WriteRequest(conn, req); err != nil {
@@ -257,6 +309,53 @@ func BenchmarkDistributorRelay(b *testing.B) {
 		if err != nil || resp.StatusCode != 200 {
 			b.Fatalf("resp %v %v", resp, err)
 		}
+	}
+}
+
+// BenchmarkDistributorRelayLarge measures the streaming fast path on large
+// bodies (64 KiB and 1 MiB). The client reads the header and then drains
+// the body through the same pooled-buffer copy the distributor uses, so the
+// allocs/op reported here are dominated by the relay itself — they must not
+// grow with the body size (acceptance: no per-request allocation
+// proportional to the body).
+func BenchmarkDistributorRelayLarge(b *testing.B) {
+	for _, bc := range []struct {
+		path string
+		size int
+	}{{"/bench64k", 64 << 10}, {"/bench1m", 1 << 20}} {
+		b.Run(fmt.Sprintf("%dKiB", bc.size>>10), func(b *testing.B) {
+			front, cleanup := liveCluster(b)
+			defer cleanup()
+			conn, err := net.Dial("tcp", front)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = conn.Close() }()
+			br := httpx.AcquireReader(conn)
+			defer httpx.ReleaseReader(br)
+			req := &httpx.Request{
+				Method: "GET", Target: bc.path, Path: bc.path,
+				Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
+			}
+			b.SetBytes(int64(bc.size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := httpx.WriteRequest(conn, req); err != nil {
+					b.Fatal(err)
+				}
+				resp, err := httpx.ReadResponseHeader(br)
+				if err != nil || resp.StatusCode != 200 {
+					b.Fatalf("resp %v %v", resp, err)
+				}
+				if resp.ContentLength != int64(bc.size) {
+					b.Fatalf("content-length = %d, want %d", resp.ContentLength, bc.size)
+				}
+				if _, err := httpx.CopyBody(io.Discard, br, resp.ContentLength); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -294,8 +393,9 @@ func BenchmarkL4RouterRelay(b *testing.B) {
 	}
 	req := &httpx.Request{
 		Method: "GET", Target: "/bench.html", Path: "/bench.html",
-		Proto: httpx.Proto11, Header: httpx.Header{"Connection": "close"},
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Connection", "close"),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conn, err := net.Dial("tcp", front)
@@ -412,6 +512,7 @@ func BenchmarkReplicaSelection(b *testing.B) {
 				{ID: "c", Weight: 0.43, Active: 2},
 				{ID: "d", Weight: 1, Active: 0},
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := picker.Pick(cands); err != nil {
@@ -429,6 +530,7 @@ func BenchmarkZipf(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = z.Next()
@@ -438,6 +540,7 @@ func BenchmarkZipf(b *testing.B) {
 // BenchmarkLoadMetric measures the §3.3 per-request accounting.
 func BenchmarkLoadMetric(b *testing.B) {
 	tr := loadbal.NewTracker(loadbal.PaperWeights())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Record("n1", content.ClassHTML, 3*time.Millisecond)

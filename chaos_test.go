@@ -404,7 +404,7 @@ func getOnce(addr, path string) (*httpx.Response, error) {
 		Target: path,
 		Path:   path,
 		Proto:  httpx.Proto11,
-		Header: httpx.Header{"Host": "chaos", "Connection": "close"},
+		Header: httpx.NewHeader("Host", "chaos", "Connection", "close"),
 	}
 	if err := httpx.WriteRequest(conn, req); err != nil {
 		return nil, err

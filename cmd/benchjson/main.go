@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, so benchmark runs can be archived and diffed across
+// commits (the `make bench` target pipes through it to produce
+// BENCH_relay.json).
+//
+// Usage:
+//
+//	go test -bench 'Relay' -benchmem . | benchjson > BENCH_relay.json
+//
+// Only benchmark result lines are converted; the goos/pkg preamble and
+// PASS/ok trailer are skipped. Custom b.ReportMetric units (req/s,
+// cache-hit-%, …) are collected into the "metrics" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse collects every benchmark result line from sc.
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results := []Result{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			results = append(results, r)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-8  1000  123 ns/op  4 B/op ..." line.
+// Returns ok=false for Benchmark-prefixed lines that are not results (e.g.
+// a benchmark name printed alone before a sub-benchmark runs).
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	r := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("%q: bad value %q", line, fields[i])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "MB/s":
+			r.MBPerSec = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true, nil
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, keeping sub-benchmark paths intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

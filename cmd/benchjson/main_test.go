@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: webcluster
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkURLTableLookup         	 8094747	       157.3 ns/op	      1880 table-KB	       0 B/op	       0 allocs/op
+BenchmarkDistributorRelayLarge/64KiB-4            	   21820	     50768 ns/op	1290.89 MB/s	    1251 B/op	      19 allocs/op
+BenchmarkFigure2Partition	       1	1234567 ns/op	       456.7 req/s
+PASS
+ok  	webcluster	16.895s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkURLTableLookup" || r.Iterations != 8094747 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.NsPerOp != 157.3 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("first result stats = %+v", r)
+	}
+	if r.Metrics["table-KB"] != 1880 {
+		t.Fatalf("custom metric = %+v", r.Metrics)
+	}
+	large := results[1]
+	if large.Name != "BenchmarkDistributorRelayLarge/64KiB" {
+		t.Fatalf("proc suffix not trimmed: %q", large.Name)
+	}
+	if large.MBPerSec != 1290.89 || large.AllocsPerOp != 19 {
+		t.Fatalf("large result = %+v", large)
+	}
+	fig := results[2]
+	if fig.Metrics["req/s"] != 456.7 {
+		t.Fatalf("fig result = %+v", fig)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkFoo\nBenchmarkBar-8 notanumber ns/op\n"
+	results, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from non-result lines", len(results))
+	}
+}

@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the -pprof server's mux only
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,7 +40,18 @@ func main() {
 	balanceEvery := flag.Duration("balance", 0, "auto-balance interval (0 = off)")
 	tableFile := flag.String("table", "", "URL-table checkpoint: loaded at start if present, saved on shutdown")
 	accessLog := flag.String("accesslog", "", "append Common Log Format access log to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty = off")
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers from the blank
+			// import; nothing else registers on it in this process.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "distributor: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "distributor:", err)
 		os.Exit(1)

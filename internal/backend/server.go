@@ -1,7 +1,6 @@
 package backend
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -304,9 +303,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	br := bufio.NewReader(conn)
+	// Pooled reader and request: the keep-alive loop parses every request
+	// on this connection without allocating, and response bodies are
+	// aliased slices of the page cache / store (WriteResponse does not
+	// copy them), so a static hit is served with zero per-request copies.
+	br := httpx.AcquireReader(conn)
+	defer httpx.ReleaseReader(br)
+	req := httpx.AcquireRequest()
+	defer httpx.ReleaseRequest(req)
 	for {
-		req, err := httpx.ReadRequest(br)
+		err := httpx.ReadRequestInto(br, req)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
 				resp := httpx.NewResponse(httpx.Proto10, 400, []byte("bad request\n"))

@@ -1,0 +1,95 @@
+package cache
+
+// Sharded is an LRU split across independently locked shards, keyed by a
+// hash of the entry key. The distributor's URL-table entry cache sits on
+// the routing fast path, where a single cache mutex would serialize every
+// request the copy-on-write table just freed from its read lock; sharding
+// divides that contention by the shard count while keeping the byte bound
+// global (capacity is split evenly across shards).
+type Sharded struct {
+	shards []*LRU
+	mask   uint32
+}
+
+// NewSharded returns a cache bounded to capacity bytes total, split over
+// at most shards independently locked LRUs. The shard count is rounded
+// down to a power of two and never exceeds the capacity, so each shard
+// retains at least one entry of size 1.
+func NewSharded(capacity int64, shards int) *Sharded {
+	if shards < 1 {
+		shards = 1
+	}
+	for int64(shards) > capacity && shards > 1 {
+		shards >>= 1
+	}
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	per := (capacity + int64(n) - 1) / int64(n)
+	s := &Sharded{shards: make([]*LRU, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = NewLRU(per)
+	}
+	return s
+}
+
+// fnv32 is FNV-1a over the key bytes; allocation-free for string keys.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// shard returns the LRU responsible for key.
+func (s *Sharded) shard(key string) *LRU {
+	return s.shards[fnv32(key)&s.mask]
+}
+
+// Get returns the cached value for key and whether it was present.
+func (s *Sharded) Get(key string) (Sizer, bool) {
+	return s.shard(key).Get(key)
+}
+
+// Put inserts or replaces the value for key, reporting whether it was
+// retained.
+func (s *Sharded) Put(key string, value Sizer) bool {
+	return s.shard(key).Put(key, value)
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *Sharded) Remove(key string) bool {
+	return s.shard(key).Remove(key)
+}
+
+// Clear drops every entry from every shard.
+func (s *Sharded) Clear() {
+	for _, sh := range s.shards {
+		sh.Clear()
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard counters.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Entries += st.Entries
+		out.Used += st.Used
+		out.Capacity += st.Capacity
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedPutGetRemove(t *testing.T) {
+	c := NewSharded(1024, 8)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("/d%d/f%d.html", i%7, i)
+		if !c.Put(key, Bytes("v")) {
+			t.Fatalf("Put(%q) rejected a fitting value", key)
+		}
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+	v, ok := c.Get("/d3/f3.html")
+	if !ok || string(v.(Bytes)) != "v" {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	if !c.Remove("/d3/f3.html") {
+		t.Fatal("Remove missed a stored key")
+	}
+	if _, ok := c.Get("/d3/f3.html"); ok {
+		t.Fatal("Get hit a removed key")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	// 8 shards over capacity 64: each shard holds at most 8 bytes, the
+	// total byte bound stays global.
+	c := NewSharded(64, 8)
+	st := c.Stats()
+	if st.Capacity != 64 {
+		t.Fatalf("aggregate capacity = %d, want 64", st.Capacity)
+	}
+	// Shard count shrinks when capacity is tiny so every shard can hold
+	// at least one unit-sized entry.
+	small := NewSharded(2, 64)
+	if got := len(small.shards); got > 2 {
+		t.Fatalf("tiny cache kept %d shards", got)
+	}
+	// Non-power-of-two shard requests round down.
+	odd := NewSharded(1024, 6)
+	if got := len(odd.shards); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	c := NewSharded(1024, 4)
+	c.Put("a", Bytes("x"))
+	c.Get("a")
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	c := NewSharded(1<<16, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("/g%d/f%d", g, i%64)
+				c.Put(key, Bytes("body"))
+				c.Get(key)
+				if i%17 == 0 {
+					c.Remove(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("cache empty after concurrent load")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"webcluster/internal/config"
 	"webcluster/internal/faults"
+	"webcluster/internal/httpx"
 )
 
 // ErrPoolClosed reports use of a closed pool.
@@ -19,7 +20,9 @@ type Dialer func(node config.NodeID) (net.Conn, error)
 
 // PooledConn is one pre-forked persistent connection to a back end. It
 // carries a buffered reader so response parsing never loses bytes across
-// requests on the same connection.
+// requests on the same connection. The reader comes from the shared httpx
+// pool and is returned to it when the connection is discarded, so a churn
+// of back-end connections does not churn 4 KiB read buffers.
 type PooledConn struct {
 	Node   config.NodeID
 	Conn   net.Conn
@@ -145,7 +148,16 @@ func (p *Pool) dialNode(node config.NodeID) (*PooledConn, error) {
 		return nil, fmt.Errorf("dialing %s: %w", node, err)
 	}
 	conn = in.Conn("pool.conn/"+string(node), conn)
-	return &PooledConn{Node: node, Conn: conn, Reader: bufio.NewReader(conn)}, nil
+	return &PooledConn{Node: node, Conn: conn, Reader: httpx.AcquireReader(conn)}, nil
+}
+
+// releaseReader returns pc's buffered reader to the shared pool. Only safe
+// once pc's connection is closed (any buffered bytes are dead).
+func releaseReader(pc *PooledConn) {
+	if pc.Reader != nil {
+		httpx.ReleaseReader(pc.Reader)
+		pc.Reader = nil
+	}
 }
 
 // Acquire checks out a connection to node, preferring an idle pre-forked
@@ -196,12 +208,14 @@ func (p *Pool) Release(pc *PooledConn) {
 	np, err := p.nodeFor(pc.Node)
 	if err != nil {
 		_ = pc.Conn.Close()
+		releaseReader(pc)
 		return
 	}
 	np.mu.Lock()
 	defer np.mu.Unlock()
 	if np.closed {
 		_ = pc.Conn.Close()
+		releaseReader(pc)
 		return
 	}
 	pc.Uses++
@@ -212,6 +226,7 @@ func (p *Pool) Release(pc *PooledConn) {
 // Discard drops a broken connection, freeing its slot.
 func (p *Pool) Discard(pc *PooledConn) {
 	_ = pc.Conn.Close()
+	releaseReader(pc)
 	np, err := p.nodeFor(pc.Node)
 	if err != nil {
 		return
@@ -266,6 +281,7 @@ func (p *Pool) Close() error {
 			if err := pc.Conn.Close(); err != nil {
 				errs = append(errs, err)
 			}
+			releaseReader(pc)
 		}
 		np.idle = nil
 		np.cond.Broadcast()

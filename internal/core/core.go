@@ -397,7 +397,7 @@ func (c *Cluster) Get(path string) (*httpx.Response, error) {
 		Target: path,
 		Path:   path,
 		Proto:  httpx.Proto11,
-		Header: httpx.Header{"Host": "cluster", "Connection": "close"},
+		Header: httpx.NewHeader("Host", "cluster", "Connection", "close"),
 	}
 	if err := httpx.WriteRequest(conn, req); err != nil {
 		return nil, fmt.Errorf("core: sending request: %w", err)

@@ -7,7 +7,6 @@
 package distributor
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -107,6 +106,10 @@ type Distributor struct {
 	routed  atomic.Int64
 	noRoute atomic.Int64
 	relayNs atomic.Int64 // summed relay overhead (routing decision time)
+	// truncations counts relays where the back end delivered fewer body
+	// bytes than its Content-Length promised; each one resets the client
+	// mapping (the client saw a short response).
+	truncations atomic.Int64
 
 	logMu     sync.Mutex
 	accessLog io.Writer
@@ -211,6 +214,10 @@ func (d *Distributor) Routed() int64 { return d.routed.Load() }
 // NoRoute returns the number of requests with no routable backend.
 func (d *Distributor) NoRoute() int64 { return d.noRoute.Load() }
 
+// RelayTruncations returns the number of relays cut short by a back end
+// delivering less body than its Content-Length declared.
+func (d *Distributor) RelayTruncations() int64 { return d.truncations.Load() }
+
 // MeanRouteOverhead returns the average time spent making routing
 // decisions (URL-table lookup + replica pick), the §5.2 overhead quantity.
 func (d *Distributor) MeanRouteOverhead() time.Duration {
@@ -300,9 +307,15 @@ func (d *Distributor) serveClient(client net.Conn) {
 	}
 	reset := func() { _, _ = d.mapping.Advance(key, conntrack.EventReset) }
 
-	br := bufio.NewReader(client)
+	// Reader and request come from the shared pools and are reused across
+	// every keep-alive request on this connection, so steady-state parsing
+	// allocates nothing.
+	br := httpx.AcquireReader(client)
+	defer httpx.ReleaseReader(br)
+	req := httpx.AcquireRequest()
+	defer httpx.ReleaseRequest(req)
 	for {
-		req, err := httpx.ReadRequest(br)
+		err := httpx.ReadRequestInto(br, req)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				// Client FIN with no request in flight: run teardown.
@@ -361,59 +374,71 @@ func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req
 
 	counter := d.active[node]
 	counter.Add(1)
-	resp, err := d.exchange(node, req)
+	pc, resp, err := d.exchangeStart(node, req)
 	counter.Add(-1)
-	if err != nil {
-		// The chosen back end failed mid-exchange: fail over to another
-		// replica once before giving up (the request was idempotent up
-		// to here — nothing has been written to the client).
+	if err != nil && idempotent(req) {
+		// The chosen back end failed before any response header arrived:
+		// fail over to another replica once before giving up. Only safe
+		// for idempotent methods — re-sending a POST could apply its
+		// effect twice. Nothing has been written to the client yet.
 		if alt, altErr := d.pickReplica(rec, node); altErr == nil {
 			if bindErr := d.mapping.Bind(key, alt); bindErr != nil {
 				return false
 			}
 			altCounter := d.active[alt]
 			altCounter.Add(1)
-			resp, err = d.exchange(alt, req)
+			pc, resp, err = d.exchangeStart(alt, req)
 			altCounter.Add(-1)
 			node = alt
 		}
 	}
-
-	procTime := time.Since(start)
 	if err != nil {
 		out := httpx.NewResponse(req.Proto, 502, []byte("backend error\n"))
 		d.logAccess(key, req, 502, len(out.Body))
 		_ = httpx.WriteResponse(client, out)
 		return false
 	}
+
+	// Response header is parsed; the body still sits on the back-end
+	// connection. Stream it to the client through a pooled buffer. The
+	// exchange deadline stays armed across the copy so a back end that
+	// stalls mid-body cannot pin this goroutine.
+	relayed, relayErr := httpx.RelayResponse(client, resp, pc.Reader, req.Proto, !req.KeepAlive())
+	if relayErr != nil {
+		// The header already reached the client, so the exchange cannot
+		// be retried; the back-end connection has lost framing either
+		// way. Reset the mapping (caller) and drop both connections.
+		d.pool.Discard(pc)
+		if errors.Is(relayErr, httpx.ErrBodyTruncated) {
+			d.truncations.Add(1)
+		}
+		d.logAccess(key, req, resp.StatusCode, int(relayed))
+		return false
+	}
+	if d.exchangeTimeout > 0 {
+		if err := pc.Conn.SetDeadline(time.Time{}); err != nil {
+			d.pool.Discard(pc)
+			return false
+		}
+	}
+	if resp.KeepAlive() {
+		d.pool.Release(pc)
+	} else {
+		d.pool.Discard(pc)
+	}
+
+	procTime := time.Since(start)
 	d.routed.Add(1)
 	d.relayNs.Add(int64(routeCost))
-	d.logAccess(key, req, resp.StatusCode, len(resp.Body))
+	d.logAccess(key, req, resp.StatusCode, int(relayed))
 	class := content.Classify(req.Path)
 	d.tracker.Record(node, class, procTime)
 	cs := d.stats.Class(class.String())
 	cs.Requests.Inc()
-	cs.Bytes.Add(int64(len(resp.Body)))
+	cs.Bytes.Add(relayed)
 	cs.Latency.Observe(procTime)
 	if resp.StatusCode >= 400 {
 		cs.Errors.Inc()
-	}
-
-	// Relay the response out on the client's protocol version.
-	out := &httpx.Response{
-		Proto:      req.Proto,
-		StatusCode: resp.StatusCode,
-		Status:     resp.Status,
-		Header:     resp.Header.Clone(),
-		Body:       resp.Body,
-	}
-	if !req.KeepAlive() {
-		out.Header.Set("Connection", "close")
-	} else {
-		out.Header.Del("Connection")
-	}
-	if err := httpx.WriteResponse(client, out); err != nil {
-		return false
 	}
 	if _, err := d.mapping.Advance(key, conntrack.EventRequestDone); err != nil {
 		return false
@@ -421,72 +446,68 @@ func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req
 	return true
 }
 
-// exchange sends req over a pre-forked connection to node and reads the
-// response. Each attempt runs under the exchange deadline so a stalled or
-// slow-loris back end surfaces as a timeout instead of hanging the relay
-// goroutine; failed attempts discard the connection and retry (bounded,
-// with doubling backoff) — a stale keep-alive connection is the common
-// recoverable case.
-func (d *Distributor) exchange(node config.NodeID, req *httpx.Request) (*httpx.Response, error) {
-	// Toward the back end the distributor always speaks HTTP/1.1
-	// keep-alive so the pre-forked connection survives the exchange.
-	fwd := &httpx.Request{
-		Method: req.Method,
-		Target: req.Target,
-		Path:   req.Path,
-		Query:  req.Query,
-		Proto:  httpx.Proto11,
-		Header: req.Header.Clone(),
-		Body:   req.Body,
-	}
-	fwd.Header.Del("Connection")
+// idempotent reports whether req may be re-sent after a failed attempt.
+// Only safe methods qualify; the streaming path never retries once any
+// response byte has reached the client.
+func idempotent(req *httpx.Request) bool {
+	return req.Method == "GET" || req.Method == "HEAD"
+}
 
+// exchangeStart sends req over a pre-forked connection to node and parses
+// the response header, leaving the body unread on the returned connection
+// (the caller streams it with httpx.RelayResponse). Each attempt runs
+// under the exchange deadline so a stalled or slow-loris back end surfaces
+// as a timeout instead of hanging the relay goroutine; failed attempts
+// discard the connection and retry (bounded, with doubling backoff) — a
+// stale keep-alive connection is the common recoverable case. Retries only
+// happen for idempotent requests: a non-idempotent body was already sent
+// on the wire once, so a second send could apply its effect twice.
+//
+// On success the exchange deadline is still armed; the caller clears it
+// after relaying the body.
+func (d *Distributor) exchangeStart(node config.NodeID, req *httpx.Request) (*conntrack.PooledConn, *httpx.Response, error) {
 	var lastErr error
 	backoff := d.retryBackoff
 	for attempt := 0; attempt <= d.exchangeRetries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if attempt > 0 {
+			if !idempotent(req) {
+				break
+			}
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
 		}
 		pc, err := d.pool.Acquire(node)
 		if err != nil {
-			return nil, fmt.Errorf("acquiring connection to %s: %w", node, err)
+			return nil, nil, fmt.Errorf("acquiring connection to %s: %w", node, err)
 		}
-		resp, err := d.attemptExchange(pc, fwd)
+		resp, err := d.attemptStart(pc, req)
 		if err != nil {
 			d.pool.Discard(pc)
 			lastErr = fmt.Errorf("exchange with %s: %w", node, err)
 			continue
 		}
-		if resp.KeepAlive() {
-			d.pool.Release(pc)
-		} else {
-			d.pool.Discard(pc)
-		}
-		return resp, nil
+		return pc, resp, nil
 	}
-	return nil, lastErr
+	return nil, nil, lastErr
 }
 
-// attemptExchange runs one write+read round trip under the exchange
-// deadline, clearing it afterwards so the connection can be pooled again.
-func (d *Distributor) attemptExchange(pc *conntrack.PooledConn, fwd *httpx.Request) (*httpx.Response, error) {
+// attemptStart arms the exchange deadline, forwards req (as HTTP/1.1,
+// Connection dropped on the wire — no clone) and parses the response
+// header. The deadline is left armed: it also bounds the body relay.
+func (d *Distributor) attemptStart(pc *conntrack.PooledConn, req *httpx.Request) (*httpx.Response, error) {
 	if d.exchangeTimeout > 0 {
 		if err := pc.Conn.SetDeadline(time.Now().Add(d.exchangeTimeout)); err != nil {
 			return nil, fmt.Errorf("arming deadline: %w", err)
 		}
 	}
-	if err := httpx.WriteRequest(pc.Conn, fwd); err != nil {
+	if err := httpx.WriteProxyRequest(pc.Conn, req); err != nil {
 		return nil, fmt.Errorf("forwarding: %w", err)
 	}
-	resp, err := httpx.ReadResponse(pc.Reader)
+	resp, err := httpx.ReadResponseHeader(pc.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("reading: %w", err)
-	}
-	if d.exchangeTimeout > 0 {
-		if err := pc.Conn.SetDeadline(time.Time{}); err != nil {
-			return nil, fmt.Errorf("clearing deadline: %w", err)
-		}
 	}
 	return resp, nil
 }

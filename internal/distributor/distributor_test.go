@@ -103,7 +103,7 @@ func fetch(t *testing.T, addr, path, proto string) *httpx.Response {
 	defer func() { _ = conn.Close() }()
 	req := &httpx.Request{
 		Method: "GET", Target: path, Path: path,
-		Proto: proto, Header: httpx.Header{"Host": "c"},
+		Proto: proto, Header: httpx.NewHeader("Host", "c"),
 	}
 	if proto == httpx.Proto11 {
 		req.Header.Set("Connection", "close")
@@ -199,7 +199,7 @@ func TestKeepAliveMultipleRequests(t *testing.T) {
 	for _, path := range []string{"/a.html", "/b.html", "/a.html"} {
 		req := &httpx.Request{
 			Method: "GET", Target: path, Path: path,
-			Proto: httpx.Proto11, Header: httpx.Header{"Host": "c"},
+			Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
 		}
 		if err := httpx.WriteRequest(conn, req); err != nil {
 			t.Fatal(err)

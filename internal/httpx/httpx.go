@@ -6,14 +6,21 @@
 // keep-alive) toward the back ends, so the library controls message framing
 // itself instead of delegating to net/http's transport pooling, whose
 // connection management would hide exactly the mechanism the paper builds.
+//
+// The package is written for the distributor's fast path: parsing interns
+// common methods, header keys and values instead of allocating, headers are
+// insertion-ordered slices rather than maps (no sort on write, no clone on
+// forward), serialization runs through pooled bufio.Writers, and response
+// bodies can be streamed (ReadResponseHeader + CopyBody) instead of
+// buffered. See DESIGN.md §2 for the pooling and aliasing invariants.
 package httpx
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,13 +45,56 @@ var (
 // holding distributor memory hostage.
 const maxHeaderLines = 128
 
-// Header is a case-insensitive single-valued header map. Keys are stored
-// canonicalized by textproto rules (Content-Length, Host, ...).
-type Header map[string]string
+// Field is one header name/value pair. Keys are stored canonicalized by
+// textproto rules (Content-Length, Host, ...).
+type Field struct {
+	Key   string
+	Value string
+}
+
+// Header is a case-insensitive, single-valued, insertion-ordered header
+// list. Relative to a map it writes without sorting (wire order is
+// insertion order), iterates without allocation, and reuses its backing
+// array across keep-alive requests. With the handful of fields this
+// system's messages carry, linear scans beat map hashing.
+type Header []Field
+
+// NewHeader builds a header from alternating key, value pairs.
+func NewHeader(pairs ...string) Header {
+	if len(pairs)%2 != 0 {
+		panic("httpx: NewHeader requires key/value pairs")
+	}
+	h := make(Header, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		h.Set(pairs[i], pairs[i+1])
+	}
+	return h
+}
+
+// isCanonicalKey reports whether k is already in canonical form, letting
+// CanonicalKey skip its allocation for the common case of well-formed
+// peers.
+func isCanonicalKey(k string) bool {
+	upper := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if upper && 'a' <= c && c <= 'z' {
+			return false
+		}
+		if !upper && 'A' <= c && c <= 'Z' {
+			return false
+		}
+		upper = c == '-'
+	}
+	return true
+}
 
 // CanonicalKey normalizes a header name: first letter and letters after '-'
 // upper-cased, the rest lower-cased.
 func CanonicalKey(k string) string {
+	if isCanonicalKey(k) {
+		return k
+	}
 	b := []byte(k)
 	upper := true
 	for i, c := range b {
@@ -59,36 +109,76 @@ func CanonicalKey(k string) string {
 }
 
 // Get returns the value for key, canonicalizing the lookup.
-func (h Header) Get(key string) string { return h[CanonicalKey(key)] }
-
-// Set stores value under the canonicalized key.
-func (h Header) Set(key, value string) { h[CanonicalKey(key)] = value }
-
-// Del removes the canonicalized key.
-func (h Header) Del(key string) { delete(h, CanonicalKey(key)) }
-
-// Clone returns a deep copy of the header map.
-func (h Header) Clone() Header {
-	out := make(Header, len(h))
-	for k, v := range h {
-		out[k] = v
-	}
-	return out
-}
-
-// writeSorted emits headers in sorted key order for deterministic output.
-func (h Header) writeSorted(w *bufio.Writer) error {
-	keys := make([]string, 0, len(h))
-	for k := range h {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if _, err := fmt.Fprintf(w, "%s: %s\r\n", k, h[k]); err != nil {
-			return err
+func (h Header) Get(key string) string {
+	key = CanonicalKey(key)
+	for i := range h {
+		if h[i].Key == key {
+			return h[i].Value
 		}
 	}
-	return nil
+	return ""
+}
+
+// Set stores value under the canonicalized key, replacing any existing
+// entry in place (wire position is preserved).
+func (h *Header) Set(key, value string) {
+	h.setCanonical(CanonicalKey(key), value)
+}
+
+// setCanonical is Set for keys already in canonical form (the parser's
+// path, which canonicalizes straight off the wire bytes).
+func (h *Header) setCanonical(key, value string) {
+	for i := range *h {
+		if (*h)[i].Key == key {
+			(*h)[i].Value = value
+			return
+		}
+	}
+	*h = append(*h, Field{Key: key, Value: value})
+}
+
+// Del removes the canonicalized key.
+func (h *Header) Del(key string) {
+	key = CanonicalKey(key)
+	for i := range *h {
+		if (*h)[i].Key == key {
+			*h = append((*h)[:i], (*h)[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clone returns a copy of the header with its own backing array.
+func (h Header) Clone() Header {
+	if h == nil {
+		return nil
+	}
+	return append(make(Header, 0, len(h)), h...)
+}
+
+// writeFields emits every field in insertion order, skipping the given
+// canonical keys (hop-by-hop or recomputed fields).
+func (h Header) writeFields(bw *bufio.Writer, skip1, skip2 string) {
+	for i := range h {
+		if h[i].Key == skip1 || h[i].Key == skip2 {
+			continue
+		}
+		writeField(bw, h[i].Key, h[i].Value)
+	}
+}
+
+// writeField emits one "Key: value\r\n" line.
+func writeField(bw *bufio.Writer, key, value string) {
+	_, _ = bw.WriteString(key)
+	_, _ = bw.WriteString(": ")
+	_, _ = bw.WriteString(value)
+	_, _ = bw.WriteString("\r\n")
+}
+
+// writeInt emits n in decimal without allocating.
+func writeInt(bw *bufio.Writer, n int64) {
+	var scratch [20]byte
+	_, _ = bw.Write(strconv.AppendInt(scratch[:0], n, 10))
 }
 
 // Request is a parsed HTTP request.
@@ -106,19 +196,32 @@ type Request struct {
 	Body []byte
 }
 
-// KeepAlive reports whether the connection should persist after this
-// request under HTTP/1.0 ("Connection: keep-alive" opt-in) or HTTP/1.1
-// ("Connection: close" opt-out) rules.
-func (r *Request) KeepAlive() bool {
-	conn := strings.ToLower(r.Header.Get("Connection"))
-	switch r.Proto {
+// reset clears the request for reuse, keeping the header and body backing
+// arrays so a keep-alive loop parses without allocating.
+func (r *Request) reset() {
+	r.Method, r.Target, r.Path, r.Query, r.Proto = "", "", "", "", ""
+	r.Header = r.Header[:0]
+	r.Body = r.Body[:0]
+}
+
+// keepAlive implements the shared version-dependent connection rules:
+// HTTP/1.0 persists on "Connection: keep-alive" opt-in, HTTP/1.1 on
+// "Connection: close" opt-out.
+func keepAlive(proto, conn string) bool {
+	switch proto {
 	case Proto11:
-		return conn != "close"
+		return !strings.EqualFold(conn, "close")
 	case Proto10:
-		return conn == "keep-alive"
+		return strings.EqualFold(conn, "keep-alive")
 	default:
 		return false
 	}
+}
+
+// KeepAlive reports whether the connection should persist after this
+// request.
+func (r *Request) KeepAlive() bool {
+	return keepAlive(r.Proto, r.Header.Get("Connection"))
 }
 
 // IsDynamic reports whether the request targets executable content by the
@@ -129,89 +232,230 @@ func (r *Request) IsDynamic() bool {
 		strings.HasSuffix(r.Path, ".asp")
 }
 
+// internMethod returns a shared string for the common methods so request
+// parsing does not allocate for them.
+func internMethod(b []byte) string {
+	switch string(b) { // compiles to a comparison, no conversion alloc
+	case "GET":
+		return "GET"
+	case "POST":
+		return "POST"
+	case "HEAD":
+		return "HEAD"
+	case "PUT":
+		return "PUT"
+	case "DELETE":
+		return "DELETE"
+	}
+	return string(b)
+}
+
+// internValue returns shared strings for header values this system emits
+// on every message.
+func internValue(b []byte) string {
+	switch string(b) {
+	case "close":
+		return "close"
+	case "keep-alive":
+		return "keep-alive"
+	case "text/html":
+		return "text/html"
+	case "HIT":
+		return "HIT"
+	case "MISS":
+		return "MISS"
+	}
+	return string(b)
+}
+
+// canonFieldKey canonicalizes a wire header name and interns the keys this
+// system sees on every message, so steady-state parsing allocates nothing.
+func canonFieldKey(b []byte) string {
+	var tmp [64]byte
+	if len(b) > len(tmp) {
+		return CanonicalKey(string(b))
+	}
+	upper := true
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if upper && 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		} else if !upper && 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		tmp[i] = c
+		upper = c == '-'
+	}
+	s := tmp[:len(b)]
+	switch string(s) {
+	case "Host":
+		return "Host"
+	case "Connection":
+		return "Connection"
+	case "Content-Length":
+		return "Content-Length"
+	case "Content-Type":
+		return "Content-Type"
+	case "User-Agent":
+		return "User-Agent"
+	case "Accept":
+		return "Accept"
+	case "X-Served-By":
+		return "X-Served-By"
+	case "X-Cache":
+		return "X-Cache"
+	}
+	return string(s)
+}
+
+// readHeaderInto parses header lines into h until the blank separator.
+func readHeaderInto(br *bufio.Reader, h *Header) error {
+	for i := 0; ; i++ {
+		if i >= maxHeaderLines {
+			return ErrHeaderTooLarge
+		}
+		line, err := readLineBytes(br)
+		if err != nil {
+			return fmt.Errorf("reading header: %w", err)
+		}
+		if len(line) == 0 {
+			return nil
+		}
+		idx := bytes.IndexByte(line, ':')
+		if idx <= 0 {
+			return fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
+		}
+		key := canonFieldKey(line[:idx])
+		val := internValue(bytes.TrimSpace(line[idx+1:]))
+		h.setCanonical(key, val)
+	}
+}
+
 // ReadRequest parses one request from br. io.EOF is returned unwrapped when
 // the connection closes cleanly before any byte of a new request.
 func ReadRequest(br *bufio.Reader) (*Request, error) {
-	line, err := readLine(br)
-	if err != nil {
-		if err == io.EOF && line == "" {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("reading request line: %w", err)
+	req := &Request{Header: make(Header, 0, 8)}
+	if err := ReadRequestInto(br, req); err != nil {
+		return nil, err
 	}
-	method, rest, ok1 := strings.Cut(line, " ")
-	target, proto, ok2 := strings.Cut(rest, " ")
-	if !ok1 || !ok2 || method == "" || target == "" {
-		return nil, fmt.Errorf("%w: %q", ErrMalformedRequest, line)
-	}
-	if proto != Proto10 && proto != Proto11 {
-		return nil, fmt.Errorf("%w: %q", ErrUnsupportedProto, proto)
-	}
-	req := &Request{
-		Method: method,
-		Target: target,
-		Proto:  proto,
-		Header: make(Header, 8),
-	}
-	req.Path, req.Query, _ = strings.Cut(target, "?")
+	return req, nil
+}
 
-	for i := 0; ; i++ {
-		if i >= maxHeaderLines {
-			return nil, ErrHeaderTooLarge
+// ReadRequestInto parses one request from br into req, reusing req's
+// header and body storage — the allocation-free path for keep-alive loops.
+// io.EOF is returned unwrapped when the connection closes cleanly before
+// any byte of a new request.
+func ReadRequestInto(br *bufio.Reader, req *Request) error {
+	req.reset()
+	line, err := readLineBytes(br)
+	if err != nil {
+		if err == io.EOF && len(line) == 0 {
+			return io.EOF
 		}
-		line, err := readLine(br)
-		if err != nil {
-			return nil, fmt.Errorf("reading header: %w", err)
-		}
-		if line == "" {
-			break
-		}
-		key, value, ok := strings.Cut(line, ":")
-		if !ok || key == "" {
-			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
-		}
-		req.Header.Set(key, strings.TrimSpace(value))
+		return fmt.Errorf("reading request line: %w", err)
+	}
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 <= 0 {
+		return fmt.Errorf("%w: %q", ErrMalformedRequest, line)
+	}
+	rest := line[sp1+1:]
+	sp2 := bytes.IndexByte(rest, ' ')
+	if sp2 <= 0 {
+		return fmt.Errorf("%w: %q", ErrMalformedRequest, line)
+	}
+	proto := rest[sp2+1:]
+	switch string(proto) {
+	case Proto11:
+		req.Proto = Proto11
+	case Proto10:
+		req.Proto = Proto10
+	default:
+		return fmt.Errorf("%w: %q", ErrUnsupportedProto, proto)
+	}
+	req.Method = internMethod(line[:sp1])
+	req.Target = string(rest[:sp2])
+	req.Path, req.Query, _ = strings.Cut(req.Target, "?")
+
+	if err := readHeaderInto(br, &req.Header); err != nil {
+		return err
 	}
 
 	if cl := req.Header.Get("Content-Length"); cl != "" {
 		n, err := strconv.ParseInt(cl, 10, 64)
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("%w: content-length %q", ErrMalformedRequest, cl)
+			return fmt.Errorf("%w: content-length %q", ErrMalformedRequest, cl)
 		}
-		req.Body = make([]byte, n)
+		req.Body = grow(req.Body, n)
 		if _, err := io.ReadFull(br, req.Body); err != nil {
-			return nil, fmt.Errorf("reading body: %w", err)
+			return fmt.Errorf("reading body: %w", err)
 		}
 	}
-	return req, nil
+	return nil
+}
+
+// grow returns b resized to n bytes, reusing its backing array when large
+// enough.
+func grow(b []byte, n int64) []byte {
+	if int64(cap(b)) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
 }
 
 // WriteRequest serializes req to w in wire format.
 func WriteRequest(w io.Writer, req *Request) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%s %s %s\r\n", req.Method, req.Target, req.Proto); err != nil {
-		return fmt.Errorf("writing request line: %w", err)
-	}
-	hdr := req.Header
+	bw := acquireWriter(w)
+	defer releaseWriter(bw)
+	writeRequestHead(bw, req, req.Proto)
 	if len(req.Body) > 0 {
-		hdr = hdr.Clone()
-		hdr.Set("Content-Length", strconv.Itoa(len(req.Body)))
-	}
-	if err := hdr.writeSorted(bw); err != nil {
-		return fmt.Errorf("writing headers: %w", err)
-	}
-	if _, err := bw.WriteString("\r\n"); err != nil {
-		return fmt.Errorf("writing header terminator: %w", err)
-	}
-	if len(req.Body) > 0 {
-		if _, err := bw.Write(req.Body); err != nil {
-			return fmt.Errorf("writing body: %w", err)
-		}
+		_, _ = bw.Write(req.Body)
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("flushing request: %w", err)
+		return fmt.Errorf("writing request: %w", err)
 	}
 	return nil
+}
+
+// WriteProxyRequest forwards req toward a back end: the request is written
+// as HTTP/1.1 (so the pre-forked persistent connection survives the
+// exchange) with the hop-by-hop Connection header dropped on the wire —
+// no header clone, no mutation of req.
+func WriteProxyRequest(w io.Writer, req *Request) error {
+	bw := acquireWriter(w)
+	defer releaseWriter(bw)
+	writeRequestHead(bw, req, Proto11)
+	if len(req.Body) > 0 {
+		_, _ = bw.Write(req.Body)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("forwarding request: %w", err)
+	}
+	return nil
+}
+
+// writeRequestHead emits the request line and header section. When written
+// as a proxy request (proto differs from req.Proto) the Connection header
+// is dropped; when a body is present Content-Length is recomputed.
+func writeRequestHead(bw *bufio.Writer, req *Request, proto string) {
+	_, _ = bw.WriteString(req.Method)
+	_ = bw.WriteByte(' ')
+	_, _ = bw.WriteString(req.Target)
+	_ = bw.WriteByte(' ')
+	_, _ = bw.WriteString(proto)
+	_, _ = bw.WriteString("\r\n")
+	skipConn := ""
+	if proto != req.Proto {
+		skipConn = "Connection"
+	}
+	if len(req.Body) > 0 {
+		req.Header.writeFields(bw, "Content-Length", skipConn)
+		_, _ = bw.WriteString("Content-Length: ")
+		writeInt(bw, int64(len(req.Body)))
+		_, _ = bw.WriteString("\r\n")
+	} else {
+		req.Header.writeFields(bw, skipConn, "")
+	}
+	_, _ = bw.WriteString("\r\n")
 }
 
 // Response is a parsed or to-be-written HTTP response.
@@ -220,7 +464,14 @@ type Response struct {
 	StatusCode int
 	Status     string // reason phrase; derived from StatusCode when empty
 	Header     Header
-	Body       []byte
+	// Body holds the full body in buffered mode (ReadResponse). In
+	// streaming mode (ReadResponseHeader) it is nil and the body remains
+	// on the connection, ContentLength bytes long.
+	Body []byte
+	// ContentLength is the declared body length parsed from the header
+	// section (0 when absent). Valid after ReadResponseHeader and
+	// ReadResponse.
+	ContentLength int64
 }
 
 // statusText maps the status codes this system emits to reason phrases.
@@ -243,113 +494,154 @@ func statusText(code int) string {
 	}
 }
 
+// internStatus returns shared strings for the reason phrases this system
+// emits.
+func internStatus(b []byte) string {
+	switch string(b) {
+	case "OK":
+		return "OK"
+	case "Bad Request":
+		return "Bad Request"
+	case "Not Found":
+		return "Not Found"
+	case "Internal Server Error":
+		return "Internal Server Error"
+	case "Bad Gateway":
+		return "Bad Gateway"
+	case "Service Unavailable":
+		return "Service Unavailable"
+	}
+	return string(b)
+}
+
 // KeepAlive reports whether the connection persists after this response,
 // by the same version-dependent rules as Request.KeepAlive.
 func (r *Response) KeepAlive() bool {
-	conn := strings.ToLower(r.Header.Get("Connection"))
-	switch r.Proto {
-	case Proto11:
-		return conn != "close"
-	case Proto10:
-		return conn == "keep-alive"
-	default:
-		return false
-	}
+	return keepAlive(r.Proto, r.Header.Get("Connection"))
 }
 
 // NewResponse builds a response with the given status and body, framed with
 // a Content-Length so it can be carried on a persistent connection.
 func NewResponse(proto string, code int, body []byte) *Response {
 	resp := &Response{
-		Proto:      proto,
-		StatusCode: code,
-		Header:     make(Header, 4),
-		Body:       body,
+		Proto:         proto,
+		StatusCode:    code,
+		Header:        make(Header, 0, 4),
+		Body:          body,
+		ContentLength: int64(len(body)),
 	}
 	resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
 	return resp
 }
 
-// WriteResponse serializes resp to w, forcing a correct Content-Length.
-func WriteResponse(w io.Writer, resp *Response) error {
-	bw := bufio.NewWriter(w)
-	status := resp.Status
+// writeStatusLine emits "proto code status\r\n".
+func writeStatusLine(bw *bufio.Writer, proto string, code int, status string) {
 	if status == "" {
-		status = statusText(resp.StatusCode)
+		status = statusText(code)
 	}
-	if _, err := fmt.Fprintf(bw, "%s %d %s\r\n", resp.Proto, resp.StatusCode, status); err != nil {
-		return fmt.Errorf("writing status line: %w", err)
-	}
-	hdr := resp.Header
-	if hdr == nil {
-		hdr = make(Header, 1)
-	} else {
-		hdr = hdr.Clone()
-	}
-	hdr.Set("Content-Length", strconv.Itoa(len(resp.Body)))
-	if err := hdr.writeSorted(bw); err != nil {
-		return fmt.Errorf("writing headers: %w", err)
-	}
-	if _, err := bw.WriteString("\r\n"); err != nil {
-		return fmt.Errorf("writing header terminator: %w", err)
-	}
-	if _, err := bw.Write(resp.Body); err != nil {
-		return fmt.Errorf("writing body: %w", err)
-	}
+	_, _ = bw.WriteString(proto)
+	_ = bw.WriteByte(' ')
+	writeInt(bw, int64(code))
+	_ = bw.WriteByte(' ')
+	_, _ = bw.WriteString(status)
+	_, _ = bw.WriteString("\r\n")
+}
+
+// WriteResponse serializes resp to w, forcing a correct Content-Length.
+// Headers go out in insertion order (any stale Content-Length field is
+// skipped, not cloned around), and the body — typically an aliased slice
+// of the backend's page cache — is written without copying.
+func WriteResponse(w io.Writer, resp *Response) error {
+	bw := acquireWriter(w)
+	defer releaseWriter(bw)
+	writeStatusLine(bw, resp.Proto, resp.StatusCode, resp.Status)
+	resp.Header.writeFields(bw, "Content-Length", "")
+	_, _ = bw.WriteString("Content-Length: ")
+	writeInt(bw, int64(len(resp.Body)))
+	_, _ = bw.WriteString("\r\n\r\n")
+	_, _ = bw.Write(resp.Body)
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("flushing response: %w", err)
+		return fmt.Errorf("writing response: %w", err)
 	}
 	return nil
 }
 
-// ReadResponse parses one response from br, requiring Content-Length
-// framing (the only framing this system's servers emit).
-func ReadResponse(br *bufio.Reader) (*Response, error) {
-	line, err := readLine(br)
+// parseDecimal parses an unsigned decimal from wire bytes without
+// allocating.
+func parseDecimal(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// ReadResponseHeader parses the status line and header section from br,
+// leaving the body unread on the connection — the streaming half of the
+// relay fast path. The caller owns reading exactly ContentLength further
+// bytes (CopyBody) before the connection can carry another exchange.
+func ReadResponseHeader(br *bufio.Reader) (*Response, error) {
+	line, err := readLineBytes(br)
 	if err != nil {
-		if err == io.EOF && line == "" {
+		if err == io.EOF && len(line) == 0 {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("reading status line: %w", err)
 	}
-	proto, rest, ok := strings.Cut(line, " ")
-	if !ok || (proto != Proto10 && proto != Proto11) {
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 <= 0 {
 		return nil, fmt.Errorf("%w: status line %q", ErrMalformedRequest, line)
 	}
-	codeStr, status, _ := strings.Cut(rest, " ")
-	code, err := strconv.Atoi(codeStr)
-	if err != nil {
-		return nil, fmt.Errorf("%w: status code %q", ErrMalformedRequest, codeStr)
+	resp := &Response{Header: make(Header, 0, 8)}
+	switch string(line[:sp1]) {
+	case Proto11:
+		resp.Proto = Proto11
+	case Proto10:
+		resp.Proto = Proto10
+	default:
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformedRequest, line)
 	}
-	resp := &Response{
-		Proto:      proto,
-		StatusCode: code,
-		Status:     status,
-		Header:     make(Header, 8),
+	rest := line[sp1+1:]
+	codeBytes := rest
+	if sp2 := bytes.IndexByte(rest, ' '); sp2 >= 0 {
+		codeBytes = rest[:sp2]
+		resp.Status = internStatus(rest[sp2+1:])
 	}
-	for i := 0; ; i++ {
-		if i >= maxHeaderLines {
-			return nil, ErrHeaderTooLarge
-		}
-		line, err := readLine(br)
-		if err != nil {
-			return nil, fmt.Errorf("reading header: %w", err)
-		}
-		if line == "" {
-			break
-		}
-		key, value, ok := strings.Cut(line, ":")
-		if !ok || key == "" {
-			return nil, fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
-		}
-		resp.Header.Set(key, strings.TrimSpace(value))
+	code, ok := parseDecimal(codeBytes)
+	if !ok {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformedRequest, codeBytes)
+	}
+	resp.StatusCode = int(code)
+	if err := readHeaderInto(br, &resp.Header); err != nil {
+		return nil, err
 	}
 	if cl := resp.Header.Get("Content-Length"); cl != "" {
 		n, err := strconv.ParseInt(cl, 10, 64)
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("%w: content-length %q", ErrMalformedRequest, cl)
 		}
-		resp.Body = make([]byte, n)
+		resp.ContentLength = n
+	}
+	return resp, nil
+}
+
+// ReadResponse parses one response from br, requiring Content-Length
+// framing (the only framing this system's servers emit) and buffering the
+// whole body. The management, NFS and test-client paths use this; the
+// distributor's relay streams instead (ReadResponseHeader + CopyBody).
+func ReadResponse(br *bufio.Reader) (*Response, error) {
+	resp, err := ReadResponseHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		resp.Body = make([]byte, resp.ContentLength)
 		if _, err := io.ReadFull(br, resp.Body); err != nil {
 			return nil, fmt.Errorf("reading body: %w", err)
 		}
@@ -357,14 +649,26 @@ func ReadResponse(br *bufio.Reader) (*Response, error) {
 	return resp, nil
 }
 
-// readLine reads a CRLF- or LF-terminated line, returning it without the
-// terminator.
-func readLine(br *bufio.Reader) (string, error) {
-	line, err := br.ReadString('\n')
+// readLineBytes reads a CRLF- or LF-terminated line, returning it without
+// the terminator. The returned slice aliases br's buffer and is only valid
+// until the next read; lines longer than the buffer spill into an owned
+// allocation.
+func readLineBytes(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		owned := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = br.ReadSlice('\n')
+			owned = append(owned, line...)
+		}
+		line = owned
+	}
 	if err != nil {
 		return line, err
 	}
-	line = strings.TrimSuffix(line, "\n")
-	line = strings.TrimSuffix(line, "\r")
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
 	return line, nil
 }

@@ -166,7 +166,7 @@ func TestHeaderSetGetDel(t *testing.T) {
 }
 
 func TestHeaderClone(t *testing.T) {
-	h := Header{"A": "1"}
+	h := NewHeader("A", "1")
 	c := h.Clone()
 	c.Set("A", "2")
 	if h.Get("A") != "1" {
@@ -181,7 +181,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		Path:   "/asp/p.asp",
 		Query:  "q=2",
 		Proto:  Proto11,
-		Header: Header{"Host": "h", "X-Test": "yes"},
+		Header: NewHeader("Host", "h", "X-Test", "yes"),
 		Body:   []byte("payload"),
 	}
 	var buf bytes.Buffer
@@ -237,7 +237,7 @@ func TestResponseEmptyBody(t *testing.T) {
 }
 
 func TestWriteResponseForcesContentLength(t *testing.T) {
-	resp := &Response{Proto: Proto11, StatusCode: 200, Header: Header{"Content-Length": "999"}, Body: []byte("ab")}
+	resp := &Response{Proto: Proto11, StatusCode: 200, Header: NewHeader("Content-Length", "999"), Body: []byte("ab")}
 	var buf bytes.Buffer
 	if err := WriteResponse(&buf, resp); err != nil {
 		t.Fatal(err)

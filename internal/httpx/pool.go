@@ -1,0 +1,88 @@
+package httpx
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// Pool sizing. Reader/writer buffers are sized for this system's messages
+// (request lines plus a handful of headers fit in 4 KiB); copy buffers are
+// 32 KiB so a body relay moves data in few syscalls without large
+// per-request allocations.
+const (
+	readerBufSize = 4 << 10
+	writerBufSize = 4 << 10
+	// CopyBufSize is the size of the pooled buffers CopyBody relays with.
+	CopyBufSize = 32 << 10
+)
+
+var (
+	readerPool = sync.Pool{New: func() any {
+		return bufio.NewReaderSize(nil, readerBufSize)
+	}}
+	writerPool = sync.Pool{New: func() any {
+		return bufio.NewWriterSize(nil, writerBufSize)
+	}}
+	requestPool = sync.Pool{New: func() any {
+		return &Request{Header: make(Header, 0, 8)}
+	}}
+	copyBufPool = sync.Pool{New: func() any {
+		b := make([]byte, CopyBufSize)
+		return &b
+	}}
+)
+
+// AcquireReader returns a pooled bufio.Reader reset to read from r.
+// Release it with ReleaseReader once no buffered bytes are needed — for a
+// persistent connection that means when the connection is closed, not
+// between requests (the buffer may hold pipelined bytes).
+func AcquireReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// ReleaseReader returns br to the pool. The caller must not use br again.
+func ReleaseReader(br *bufio.Reader) {
+	if br == nil {
+		return
+	}
+	br.Reset(nil)
+	readerPool.Put(br)
+}
+
+// AcquireRequest returns a pooled Request ready for ReadRequestInto.
+func AcquireRequest() *Request {
+	return requestPool.Get().(*Request)
+}
+
+// ReleaseRequest returns req to the pool. Oversized body and header
+// storage is dropped so one large upload doesn't pin memory forever.
+func ReleaseRequest(req *Request) {
+	if req == nil {
+		return
+	}
+	if cap(req.Body) > CopyBufSize {
+		req.Body = nil
+	}
+	if cap(req.Header) > maxHeaderLines {
+		req.Header = nil
+	}
+	req.reset()
+	requestPool.Put(req)
+}
+
+// acquireWriter returns a pooled bufio.Writer targeting w.
+func acquireWriter(w io.Writer) *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+// releaseWriter returns bw to the pool, dropping any unflushed bytes from
+// a failed write (Reset discards them).
+func releaseWriter(bw *bufio.Writer) {
+	bw.Reset(nil)
+	writerPool.Put(bw)
+}

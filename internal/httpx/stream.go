@@ -1,0 +1,85 @@
+package httpx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBodyTruncated reports that a peer delivered fewer body bytes than its
+// Content-Length promised. The relay uses it to tell a source-side failure
+// (back end died mid-body — the response already sent to the client is
+// short, so the client connection must close) from a destination-side one
+// (client went away).
+var ErrBodyTruncated = errors.New("httpx: body truncated")
+
+// CopyBody copies exactly n body bytes from src to dst using a pooled
+// 32 KiB buffer, so relaying a body of any size costs zero allocations.
+// A short read from src returns an error wrapping ErrBodyTruncated; a
+// write error on dst is returned as-is (not a truncation — the source
+// stream is still intact). Either way the returned count is what reached
+// dst, and on error the connection carrying src can no longer be reused
+// for another exchange (framing is lost).
+func CopyBody(dst io.Writer, src io.Reader, n int64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	bufp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bufp)
+	buf := *bufp
+	var written int64
+	for written < n {
+		chunk := n - written
+		if chunk > int64(len(buf)) {
+			chunk = int64(len(buf))
+		}
+		rn, rerr := src.Read(buf[:chunk])
+		if rn > 0 {
+			wn, werr := dst.Write(buf[:rn])
+			written += int64(wn)
+			if werr != nil {
+				return written, fmt.Errorf("relaying body: %w", werr)
+			}
+			if wn < rn {
+				return written, fmt.Errorf("relaying body: %w", io.ErrShortWrite)
+			}
+		}
+		if written >= n {
+			break
+		}
+		if rerr != nil {
+			return written, fmt.Errorf("%w after %d/%d bytes: %v", ErrBodyTruncated, written, n, rerr)
+		}
+	}
+	return written, nil
+}
+
+// RelayResponse streams resp from a back-end connection to the client:
+// it writes the status line and headers (translated to the client's
+// protocol version, Connection rewritten on the wire — resp is not
+// mutated), flushes them so first-byte latency is O(headers) not O(body),
+// then relays exactly resp.ContentLength body bytes from src with a
+// pooled buffer. resp must come from ReadResponseHeader with its body
+// still unread on src.
+//
+// The returned count is the number of body bytes that reached the client.
+// On error the exchange is unrecoverable: the header section already went
+// out, so the caller must close both connections (no retry, no reuse).
+func RelayResponse(dst io.Writer, resp *Response, src io.Reader, clientProto string, forceClose bool) (int64, error) {
+	bw := acquireWriter(dst)
+	defer releaseWriter(bw)
+	writeStatusLine(bw, clientProto, resp.StatusCode, resp.Status)
+	resp.Header.writeFields(bw, "Connection", "Content-Length")
+	if forceClose {
+		_, _ = bw.WriteString("Connection: close\r\n")
+	} else if c := resp.Header.Get("Connection"); c != "" {
+		writeField(bw, "Connection", c)
+	}
+	_, _ = bw.WriteString("Content-Length: ")
+	writeInt(bw, resp.ContentLength)
+	_, _ = bw.WriteString("\r\n\r\n")
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("writing response header: %w", err)
+	}
+	return CopyBody(dst, src, resp.ContentLength)
+}

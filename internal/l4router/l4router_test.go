@@ -65,7 +65,7 @@ func get(t *testing.T, addr, path string) *httpx.Response {
 	defer func() { _ = conn.Close() }()
 	req := &httpx.Request{
 		Method: "GET", Target: path, Path: path,
-		Proto: httpx.Proto11, Header: httpx.Header{"Connection": "close"},
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Connection", "close"),
 	}
 	if err := httpx.WriteRequest(conn, req); err != nil {
 		t.Fatal(err)
@@ -238,7 +238,7 @@ func TestConcurrentProxying(t *testing.T) {
 			defer func() { _ = conn.Close() }()
 			req := &httpx.Request{
 				Method: "GET", Target: "/a.html", Path: "/a.html",
-				Proto: httpx.Proto11, Header: httpx.Header{"Connection": "close"},
+				Proto: httpx.Proto11, Header: httpx.NewHeader("Connection", "close"),
 			}
 			if err := httpx.WriteRequest(conn, req); err != nil {
 				errs <- err

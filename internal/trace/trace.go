@@ -240,7 +240,7 @@ func Replay(entries []Entry, opts ReplayOptions) (ReplayReport, error) {
 				}
 				req := &httpx.Request{
 					Method: j.e.Method, Target: j.e.Path, Path: j.e.Path,
-					Proto: httpx.Proto11, Header: httpx.Header{"Host": "replay"},
+					Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "replay"),
 				}
 				err := httpx.WriteRequest(conn, req)
 				var resp *httpx.Response

@@ -95,15 +95,14 @@ func Load(r io.Reader, opts Options) (*Table, error) {
 	return t, nil
 }
 
-// restoreHits sets a restored entry's hit counter.
+// restoreHits sets a restored entry's hit counter. Counters are shared
+// across entry copies, so storing through the current snapshot is enough.
 func (t *Table) restoreHits(path string, hits int64) {
 	segs, err := splitPath(path)
 	if err != nil {
 		return
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if e := t.findLocked(segs); e != nil {
+	if e := findSegs(t.root.Load(), segs); e != nil {
 		e.hits.Store(hits)
 	}
 }

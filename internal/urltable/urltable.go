@@ -9,6 +9,18 @@
 // path segments through nested hash maps. A small LRU cache of recently
 // resolved full paths fronts the walk, the "proven technique for
 // demultiplexing speedup" the paper borrows from Mogul.
+//
+// Reads are lock-free: the trie is copy-on-write behind an atomic root
+// pointer. Management mutations (§3: insert/delete/rename/replicate) build
+// a new root by path-copying the affected spine — everything off the spine
+// is shared — and publish it with one atomic swap, serialized by a writer
+// mutex. Route therefore takes no lock and scales with distributor cores.
+// Published nodes, entries and their location slices are immutable; the
+// only mutable cell an entry carries is its hit counter, an atomic shared
+// across copies of the same logical entry. The entry cache stores (root,
+// entry) pairs and treats a cached pair under a different root as a miss,
+// so a root swap soft-invalidates the whole cache at zero cost. See
+// DESIGN.md §2 ("fast path") for the invariants.
 package urltable
 
 import (
@@ -36,7 +48,9 @@ var (
 	ErrBadPath = errors.New("urltable: path must begin with '/'")
 )
 
-// Record is an immutable snapshot of one URL-table entry.
+// Record is an immutable snapshot of one URL-table entry. Locations
+// aliases the table's internal slice, which is never mutated after
+// publication — callers must treat it as read-only.
 type Record struct {
 	Path     string
 	Size     int64
@@ -64,28 +78,39 @@ func (r Record) HasLocation(node config.NodeID) bool {
 	return false
 }
 
-// entry is the stored (mutable) form of a record. Mutations other than the
-// hit counter happen under the table's write lock; the hit counter is
-// atomic so that the hot read path never takes the write lock.
+// entry is the stored form of a record. Published entries are immutable:
+// mutations clone the entry (and the trie spine above it) and swap the
+// root. The hit counter is a shared pointer so every copy of the same
+// logical entry — including ones cached before a mutation — counts into
+// the same accumulator.
 type entry struct {
 	path      string
 	size      int64
 	class     content.Class
 	priority  int
 	pinned    bool
-	hits      atomic.Int64
+	hits      *atomic.Int64
 	locations []config.NodeID
 }
 
-// SizeBytes implements cache.Sizer; the entry cache is bounded by entry
-// count, so every entry counts as 1.
-func (e *entry) SizeBytes() int64 { return 1 }
+// clone returns a copy sharing the hit counter and location slice; the
+// caller replaces whichever field it is mutating.
+func (e *entry) clone() *entry {
+	return &entry{
+		path:      e.path,
+		size:      e.size,
+		class:     e.class,
+		priority:  e.priority,
+		pinned:    e.pinned,
+		hits:      e.hits,
+		locations: e.locations,
+	}
+}
 
-var _ cache.Sizer = (*entry)(nil)
-
-// snapshot copies the entry into a Record. Callers must hold at least the
-// table's read lock.
-func (e *entry) snapshot() Record {
+// record snapshots the entry. The location slice is aliased, not copied:
+// published entries never mutate it (AddLocation/RemoveLocation build a
+// fresh slice on a fresh entry).
+func (e *entry) record() Record {
 	return Record{
 		Path:      e.path,
 		Size:      e.size,
@@ -93,16 +118,44 @@ func (e *entry) snapshot() Record {
 		Priority:  e.priority,
 		Pinned:    e.pinned,
 		Hits:      e.hits.Load(),
-		Locations: append([]config.NodeID(nil), e.locations...),
+		Locations: e.locations,
 	}
 }
 
 // node is one level of the multi-level hash. A node may simultaneously be
 // an interior directory and hold a leaf entry (e.g. /docs and /docs/a.html).
+// Published nodes are immutable; mutations clone the affected spine.
 type node struct {
 	children map[string]*node
 	leaf     *entry
 }
+
+// cloneNode returns a shallow copy of n with its own children map, the
+// path-copy step of every mutation.
+func cloneNode(n *node) *node {
+	nn := &node{leaf: n.leaf}
+	if len(n.children) > 0 {
+		nn.children = make(map[string]*node, len(n.children))
+		for k, v := range n.children {
+			nn.children[k] = v
+		}
+	}
+	return nn
+}
+
+// cachedEntry pairs a resolved entry with the root it was resolved under.
+// A cached pair whose root is no longer current is treated as a miss, so
+// one atomic root comparison revalidates the cache after any mutation.
+type cachedEntry struct {
+	root *node
+	e    *entry
+}
+
+// SizeBytes implements cache.Sizer; the entry cache is bounded by entry
+// count, so every entry counts as 1.
+func (c *cachedEntry) SizeBytes() int64 { return 1 }
+
+var _ cache.Sizer = (*cachedEntry)(nil)
 
 // Per-entry and per-node bookkeeping constants for the memory footprint
 // estimate reported by the §5.2 experiment. The constants approximate Go
@@ -114,20 +167,64 @@ const (
 	interiorOverheadBytes = 64
 )
 
+// counterStripes is the number of cache-line-padded stripes in the hot
+// counters; must be a power of two.
+const counterStripes = 16
+
+// stripedCounter spreads increments across padded stripes indexed by the
+// request's path hash, so the counters the read path bumps on every route
+// don't put every core on one contended cache line. load sums the stripes
+// and is exact once concurrent writers quiesce.
+type stripedCounter struct {
+	stripes [counterStripes]struct {
+		v atomic.Int64
+		_ [56]byte // pad to a cache line so stripes don't false-share
+	}
+}
+
+func (c *stripedCounter) add(h uint32, d int64) {
+	c.stripes[h&(counterStripes-1)].v.Add(d)
+}
+
+func (c *stripedCounter) load() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// fnv32 is FNV-1a over the path bytes, shared by the counter stripes.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// entryCacheShards is the shard count for the entry cache; enough to keep
+// shard mutexes off each other's cache lines at distributor core counts.
+const entryCacheShards = 8
+
 // Table is the URL table. The zero value is not usable; construct with New.
 type Table struct {
-	mu   sync.RWMutex
-	root *node
-	size int
+	// root is the current published trie; readers Load it once and walk
+	// an immutable snapshot.
+	root atomic.Pointer[node]
+	// writeMu serializes mutators (management operations are rare; reads
+	// never take it).
+	writeMu sync.Mutex
 
-	memBytes int64
+	size     atomic.Int64
+	memBytes atomic.Int64
 
-	// entryCache maps full path → *entry for recently routed URLs.
-	entryCache *cache.LRU
+	// entryCache maps full path → (root, entry) for recently routed URLs.
+	entryCache *cache.Sharded
 
-	lookups    atomic.Int64
-	cacheHits  atomic.Int64
-	walkDepths atomic.Int64 // summed segment counts, for diagnostics
+	lookups    stripedCounter
+	cacheHits  stripedCounter
+	walkDepths stripedCounter // summed segment counts, for diagnostics
 }
 
 // Options configures table construction.
@@ -139,15 +236,17 @@ type Options struct {
 
 // New returns an empty table. cacheEntries ≤ 0 disables the entry cache.
 func New(opts Options) *Table {
-	t := &Table{root: &node{}}
+	t := &Table{}
+	t.root.Store(&node{})
 	if opts.CacheEntries > 0 {
-		t.entryCache = cache.NewLRU(int64(opts.CacheEntries))
+		t.entryCache = cache.NewSharded(int64(opts.CacheEntries), entryCacheShards)
 	}
 	return t
 }
 
 // splitPath slices an absolute URL path into segments, ignoring empty
-// segments from duplicate slashes.
+// segments from duplicate slashes. Mutators use it; the read path walks
+// the string in place (findPath) to avoid the allocation.
 func splitPath(p string) ([]string, error) {
 	if !strings.HasPrefix(p, "/") {
 		return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
@@ -165,49 +264,44 @@ func splitPath(p string) ([]string, error) {
 	return segs, nil
 }
 
-// Insert adds a new entry for obj placed at locations. The object's path
-// must not already be present.
-func (t *Table) Insert(obj content.Object, locations ...config.NodeID) error {
-	segs, err := splitPath(obj.Path)
-	if err != nil {
-		return err
+// findPath walks root to the entry for path without allocating, segmenting
+// the string in place. It returns the entry (nil when absent), the number
+// of segments walked, and ErrBadPath for non-absolute or empty paths.
+func findPath(root *node, path string) (*entry, int, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, 0, fmt.Errorf("%w: %q", ErrBadPath, path)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	cur := t.root
-	for _, seg := range segs {
-		if cur.children == nil {
-			cur.children = make(map[string]*node, 4)
+	cur := root
+	depth := 0
+	for start := 1; start <= len(path); {
+		var seg string
+		if end := strings.IndexByte(path[start:], '/'); end < 0 {
+			seg = path[start:]
+			start = len(path) + 1
+		} else {
+			seg = path[start : start+end]
+			start += end + 1
 		}
-		next, ok := cur.children[seg]
-		if !ok {
-			next = &node{}
-			cur.children[seg] = next
-			t.memBytes += interiorOverheadBytes + int64(len(seg))
+		if seg == "" {
+			continue
 		}
-		cur = next
+		depth++
+		if cur != nil {
+			cur = cur.children[seg]
+		}
 	}
-	if cur.leaf != nil {
-		return fmt.Errorf("%w: %q", ErrExists, obj.Path)
+	if depth == 0 {
+		return nil, 0, fmt.Errorf("%w: %q has no segments", ErrBadPath, path)
 	}
-	e := &entry{
-		path:      obj.Path,
-		size:      obj.Size,
-		class:     obj.Class,
-		priority:  obj.Priority,
-		locations: append([]config.NodeID(nil), locations...),
+	if cur == nil {
+		return nil, depth, nil
 	}
-	cur.leaf = e
-	t.size++
-	t.memBytes += entryOverheadBytes + int64(len(obj.Path)) +
-		int64(len(locations))*locationBytes
-	return nil
+	return cur.leaf, depth, nil
 }
 
-// findLocked walks the multi-level hash to the entry for path. Caller
-// holds at least the read lock.
-func (t *Table) findLocked(segs []string) *entry {
-	cur := t.root
+// findSegs walks root by pre-split segments (the mutator path).
+func findSegs(root *node, segs []string) *entry {
+	cur := root
 	for _, seg := range segs {
 		next, ok := cur.children[seg]
 		if !ok {
@@ -218,33 +312,138 @@ func (t *Table) findLocked(segs []string) *entry {
 	return cur.leaf
 }
 
+// insertAt returns a new root with e stored at segs, sharing every node
+// off the walked spine with the old root. memDelta counts interior nodes
+// created. ok is false when a leaf already exists at segs.
+func insertAt(root *node, segs []string, e *entry) (newRoot *node, memDelta int64, ok bool) {
+	newRoot = cloneNode(root)
+	cur := newRoot
+	for _, seg := range segs {
+		var next *node
+		if child, exists := cur.children[seg]; exists {
+			next = cloneNode(child)
+		} else {
+			next = &node{}
+			memDelta += interiorOverheadBytes + int64(len(seg))
+		}
+		if cur.children == nil {
+			cur.children = make(map[string]*node, 4)
+		}
+		cur.children[seg] = next
+		cur = next
+	}
+	if cur.leaf != nil {
+		return nil, 0, false
+	}
+	cur.leaf = e
+	return newRoot, memDelta, true
+}
+
+// removeAt returns a new root with the leaf at segs removed and now-empty
+// interior nodes pruned. memDelta is the (negative) footprint change. ok
+// is false when no leaf exists at segs.
+func removeAt(root *node, segs []string) (newRoot *node, removed *entry, memDelta int64, ok bool) {
+	newRoot = cloneNode(root)
+	spine := make([]*node, 0, len(segs)+1)
+	spine = append(spine, newRoot)
+	cur := newRoot
+	for _, seg := range segs {
+		child, exists := cur.children[seg]
+		if !exists {
+			return nil, nil, 0, false
+		}
+		next := cloneNode(child)
+		cur.children[seg] = next
+		cur = next
+		spine = append(spine, next)
+	}
+	if cur.leaf == nil {
+		return nil, nil, 0, false
+	}
+	removed = cur.leaf
+	memDelta -= entryOverheadBytes + int64(len(removed.path)) +
+		int64(len(removed.locations))*locationBytes
+	cur.leaf = nil
+	for i := len(segs) - 1; i >= 0; i-- {
+		child := spine[i+1]
+		if child.leaf != nil || len(child.children) > 0 {
+			break
+		}
+		delete(spine[i].children, segs[i])
+		memDelta -= interiorOverheadBytes + int64(len(segs[i]))
+	}
+	return newRoot, removed, memDelta, true
+}
+
+// replaceAt returns a new root with e substituted for the existing leaf at
+// segs. The caller must have verified the leaf exists under this root.
+func replaceAt(root *node, segs []string, e *entry) *node {
+	newRoot := cloneNode(root)
+	cur := newRoot
+	for _, seg := range segs {
+		next := cloneNode(cur.children[seg])
+		cur.children[seg] = next
+		cur = next
+	}
+	cur.leaf = e
+	return newRoot
+}
+
+// Insert adds a new entry for obj placed at locations. The object's path
+// must not already be present.
+func (t *Table) Insert(obj content.Object, locations ...config.NodeID) error {
+	segs, err := splitPath(obj.Path)
+	if err != nil {
+		return err
+	}
+	e := &entry{
+		path:      obj.Path,
+		size:      obj.Size,
+		class:     obj.Class,
+		priority:  obj.Priority,
+		hits:      new(atomic.Int64),
+		locations: append([]config.NodeID(nil), locations...),
+	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	newRoot, memDelta, ok := insertAt(t.root.Load(), segs, e)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrExists, obj.Path)
+	}
+	memDelta += entryOverheadBytes + int64(len(obj.Path)) +
+		int64(len(locations))*locationBytes
+	t.root.Store(newRoot)
+	t.size.Add(1)
+	t.memBytes.Add(memDelta)
+	return nil
+}
+
 // lookupEntry resolves path to its stored entry via the cache, falling back
-// to the hash walk and populating the cache on success.
+// to the lock-free trie walk and populating the cache on success. The root
+// is loaded once; the cache only serves entries resolved under that same
+// root, so a concurrent mutation can never surface a stale entry.
 func (t *Table) lookupEntry(path string) (*entry, error) {
-	t.lookups.Add(1)
+	h := fnv32(path)
+	t.lookups.add(h, 1)
+	root := t.root.Load()
 	if t.entryCache != nil {
 		if v, ok := t.entryCache.Get(path); ok {
-			t.cacheHits.Add(1)
-			e, ok := v.(*entry)
-			if !ok {
-				return nil, fmt.Errorf("urltable: cache holds %T", v)
+			if ce, ok := v.(*cachedEntry); ok && ce.root == root {
+				t.cacheHits.add(h, 1)
+				return ce.e, nil
 			}
-			return e, nil
 		}
 	}
-	segs, err := splitPath(path)
+	e, depth, err := findPath(root, path)
 	if err != nil {
 		return nil, err
 	}
-	t.walkDepths.Add(int64(len(segs)))
-	t.mu.RLock()
-	e := t.findLocked(segs)
-	t.mu.RUnlock()
+	t.walkDepths.add(h, int64(depth))
 	if e == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
 	}
 	if t.entryCache != nil {
-		t.entryCache.Put(path, e)
+		t.entryCache.Put(path, &cachedEntry{root: root, e: e})
 	}
 	return e, nil
 }
@@ -255,23 +454,19 @@ func (t *Table) Lookup(path string) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return e.snapshot(), nil
+	return e.record(), nil
 }
 
 // Route resolves path for request routing: it increments the entry's hit
 // counter (the access-frequency input to §3.3 load balancing) and returns
-// the snapshot.
+// the snapshot. Route takes no lock.
 func (t *Table) Route(path string) (Record, error) {
 	e, err := t.lookupEntry(path)
 	if err != nil {
 		return Record{}, err
 	}
 	e.hits.Add(1)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return e.snapshot(), nil
+	return e.record(), nil
 }
 
 // Remove deletes the entry at path, pruning now-empty interior nodes.
@@ -280,186 +475,157 @@ func (t *Table) Remove(path string) error {
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	// Record the walk so we can prune bottom-up.
-	walk := make([]*node, 0, len(segs)+1)
-	cur := t.root
-	walk = append(walk, cur)
-	for _, seg := range segs {
-		next, ok := cur.children[seg]
-		if !ok {
-			return fmt.Errorf("%w: %q", ErrNotFound, path)
-		}
-		cur = next
-		walk = append(walk, cur)
-	}
-	if cur.leaf == nil {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	newRoot, _, memDelta, ok := removeAt(t.root.Load(), segs)
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, path)
 	}
-	t.memBytes -= entryOverheadBytes + int64(len(cur.leaf.path)) +
-		int64(len(cur.leaf.locations))*locationBytes
-	cur.leaf = nil
-	t.size--
-	for i := len(segs) - 1; i >= 0; i-- {
-		child := walk[i+1]
-		if child.leaf != nil || len(child.children) > 0 {
-			break
-		}
-		delete(walk[i].children, segs[i])
-		t.memBytes -= interiorOverheadBytes + int64(len(segs[i]))
-	}
+	t.root.Store(newRoot)
+	t.size.Add(-1)
+	t.memBytes.Add(memDelta)
 	if t.entryCache != nil {
+		// The root swap already invalidates the cached pair; dropping it
+		// eagerly just frees the slot.
 		t.entryCache.Remove(path)
 	}
 	return nil
 }
 
 // Rename moves the entry at oldPath to newPath, preserving metadata, hit
-// count and locations.
+// count and locations. Both the insert and the delete land in one atomic
+// root swap: no reader ever observes the table without exactly one of the
+// two paths.
 func (t *Table) Rename(oldPath, newPath string) error {
-	t.mu.Lock()
 	oldSegs, err := splitPath(oldPath)
 	if err != nil {
-		t.mu.Unlock()
 		return err
 	}
-	e := t.findLocked(oldSegs)
-	t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	root := t.root.Load()
+	e := findSegs(root, oldSegs)
 	if e == nil {
 		return fmt.Errorf("%w: %q", ErrNotFound, oldPath)
 	}
-	rec := func() Record {
-		t.mu.RLock()
-		defer t.mu.RUnlock()
-		return e.snapshot()
-	}()
-	if err := t.Insert(content.Object{
-		Path:     newPath,
-		Size:     rec.Size,
-		Class:    rec.Class,
-		Priority: rec.Priority,
-	}, rec.Locations...); err != nil {
+	newSegs, err := splitPath(newPath)
+	if err != nil {
 		return fmt.Errorf("rename to %q: %w", newPath, err)
 	}
-	if err := t.Remove(oldPath); err != nil {
-		// Roll back the insert to keep the table consistent.
-		_ = t.Remove(newPath)
-		return fmt.Errorf("rename from %q: %w", oldPath, err)
+	ne := e.clone()
+	ne.path = newPath
+	r1, insDelta, ok := insertAt(root, newSegs, ne)
+	if !ok {
+		return fmt.Errorf("rename to %q: %w: %q", newPath, ErrExists, newPath)
 	}
-	// Carry the hit count over to the new entry.
-	newSegs, err := splitPath(newPath)
+	r2, _, remDelta, ok := removeAt(r1, oldSegs)
+	if !ok {
+		return fmt.Errorf("rename from %q: %w", oldPath, ErrNotFound)
+	}
+	insDelta += entryOverheadBytes + int64(len(newPath)) +
+		int64(len(ne.locations))*locationBytes
+	t.root.Store(r2)
+	t.memBytes.Add(insDelta + remDelta)
+	if t.entryCache != nil {
+		t.entryCache.Remove(oldPath)
+	}
+	return nil
+}
+
+// mutateEntry applies fn to a clone of path's entry and publishes the
+// result, the shared shape of every entry-level mutation.
+func (t *Table) mutateEntry(path string, fn func(*entry) error) error {
+	segs, err := splitPath(path)
 	if err != nil {
 		return err
 	}
-	t.mu.RLock()
-	ne := t.findLocked(newSegs)
-	t.mu.RUnlock()
-	if ne != nil {
-		ne.hits.Store(rec.Hits)
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	root := t.root.Load()
+	e := findSegs(root, segs)
+	if e == nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
 	}
+	ne := e.clone()
+	if err := fn(ne); err != nil {
+		return err
+	}
+	t.root.Store(replaceAt(root, segs, ne))
 	return nil
 }
 
 // AddLocation registers node as an additional replica holder for path.
 // Adding an existing location is a no-op.
 func (t *Table) AddLocation(path string, node config.NodeID) error {
-	segs, err := splitPath(path)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.findLocked(segs)
-	if e == nil {
-		return fmt.Errorf("%w: %q", ErrNotFound, path)
-	}
-	for _, loc := range e.locations {
-		if loc == node {
-			return nil
+	return t.mutateEntry(path, func(ne *entry) error {
+		for _, loc := range ne.locations {
+			if loc == node {
+				return nil
+			}
 		}
-	}
-	e.locations = append(e.locations, node)
-	t.memBytes += locationBytes
-	return nil
+		locs := make([]config.NodeID, len(ne.locations)+1)
+		copy(locs, ne.locations)
+		locs[len(locs)-1] = node
+		ne.locations = locs
+		t.memBytes.Add(locationBytes)
+		return nil
+	})
 }
 
 // RemoveLocation drops node from path's replica set. Removing the last
 // location fails with ErrNoLocation: content must live somewhere.
 func (t *Table) RemoveLocation(path string, node config.NodeID) error {
-	segs, err := splitPath(path)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.findLocked(segs)
-	if e == nil {
-		return fmt.Errorf("%w: %q", ErrNotFound, path)
-	}
-	idx := -1
-	for i, loc := range e.locations {
-		if loc == node {
-			idx = i
-			break
+	return t.mutateEntry(path, func(ne *entry) error {
+		idx := -1
+		for i, loc := range ne.locations {
+			if loc == node {
+				idx = i
+				break
+			}
 		}
-	}
-	if idx < 0 {
-		return fmt.Errorf("%w: %q not at %s", ErrNotFound, path, node)
-	}
-	if len(e.locations) == 1 {
-		return fmt.Errorf("%w: %q", ErrNoLocation, path)
-	}
-	e.locations = append(e.locations[:idx], e.locations[idx+1:]...)
-	t.memBytes -= locationBytes
-	return nil
+		if idx < 0 {
+			return fmt.Errorf("%w: %q not at %s", ErrNotFound, path, node)
+		}
+		if len(ne.locations) == 1 {
+			return fmt.Errorf("%w: %q", ErrNoLocation, path)
+		}
+		locs := make([]config.NodeID, 0, len(ne.locations)-1)
+		locs = append(locs, ne.locations[:idx]...)
+		locs = append(locs, ne.locations[idx+1:]...)
+		ne.locations = locs
+		t.memBytes.Add(-locationBytes)
+		return nil
+	})
 }
 
 // SetPriority updates the priority of path's entry.
 func (t *Table) SetPriority(path string, priority int) error {
-	segs, err := splitPath(path)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.findLocked(segs)
-	if e == nil {
-		return fmt.Errorf("%w: %q", ErrNotFound, path)
-	}
-	e.priority = priority
-	return nil
+	return t.mutateEntry(path, func(ne *entry) error {
+		ne.priority = priority
+		return nil
+	})
 }
 
 // SetPinned marks or unmarks path's placement as administratively fixed.
 func (t *Table) SetPinned(path string, pinned bool) error {
-	segs, err := splitPath(path)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.findLocked(segs)
-	if e == nil {
-		return fmt.Errorf("%w: %q", ErrNotFound, path)
-	}
-	e.pinned = pinned
-	return nil
+	return t.mutateEntry(path, func(ne *entry) error {
+		ne.pinned = pinned
+		return nil
+	})
 }
 
 // ResetHits zeroes every entry's hit counter, starting a new accounting
-// interval for the load balancer.
+// interval for the load balancer. Counters are shared across entry copies,
+// so resetting the current snapshot resets every copy.
 func (t *Table) ResetHits() {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	walkNodes(t.root, func(e *entry) { e.hits.Store(0) })
+	walkNodes(t.root.Load(), func(e *entry) { e.hits.Store(0) })
 }
 
-// Walk invokes fn for a snapshot of every entry, in unspecified order.
+// Walk invokes fn for a snapshot of every entry, in unspecified order. The
+// walk runs over one immutable root: concurrent mutations affect neither
+// coverage nor safety.
 func (t *Table) Walk(fn func(Record)) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	walkNodes(t.root, func(e *entry) { fn(e.snapshot()) })
+	walkNodes(t.root.Load(), func(e *entry) { fn(e.record()) })
 }
 
 // walkNodes visits every leaf entry below n.
@@ -492,18 +658,14 @@ func (t *Table) EntriesAt(node config.NodeID) []Record {
 
 // Len returns the number of entries.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.size
+	return int(t.size.Load())
 }
 
 // MemoryBytes returns the estimated resident size of the table, the
 // quantity the §5.2 experiment reports (~260 KB for ~8700 objects in the
 // paper's C implementation).
 func (t *Table) MemoryBytes() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.memBytes
+	return t.memBytes.Load()
 }
 
 // Stats reports lookup-path effectiveness.
@@ -516,14 +678,10 @@ type Stats struct {
 
 // Stats returns a snapshot of table counters.
 func (t *Table) Stats() Stats {
-	t.mu.RLock()
-	size := t.size
-	mem := t.memBytes
-	t.mu.RUnlock()
 	return Stats{
-		Lookups:   t.lookups.Load(),
-		CacheHits: t.cacheHits.Load(),
-		Entries:   size,
-		MemBytes:  mem,
+		Lookups:   t.lookups.load(),
+		CacheHits: t.cacheHits.load(),
+		Entries:   int(t.size.Load()),
+		MemBytes:  t.memBytes.Load(),
 	}
 }

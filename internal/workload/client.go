@@ -172,7 +172,7 @@ func runClient(opts ClientPoolOptions, gen *Generator, reg *metrics.Registry, de
 			Target: obj.Path,
 			Path:   obj.Path,
 			Proto:  proto,
-			Header: httpx.Header{"Host": "cluster"},
+			Header: httpx.NewHeader("Host", "cluster"),
 		}
 		start := time.Now()
 		_ = conn.SetDeadline(deadline.Add(2 * time.Second))

@@ -207,7 +207,7 @@ func RunSessionPool(opts SessionPoolOptions) (SessionReport, error) {
 					}
 					req := &httpx.Request{
 						Method: "GET", Target: obj.Path, Path: obj.Path,
-						Proto: httpx.Proto11, Header: httpx.Header{"Host": "cluster"},
+						Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "cluster"),
 					}
 					_ = conn.SetDeadline(deadline.Add(2 * time.Second))
 					err := httpx.WriteRequest(conn, req)
