@@ -3,6 +3,10 @@ GO ?= go
 # Benchmarks covered by `make bench` — the relay/routing fast path.
 BENCH_HOT = BenchmarkDistributorRelay$$|BenchmarkDistributorRelayLarge|BenchmarkURLTableLookup|BenchmarkHTTPParse|BenchmarkConnPool|BenchmarkMappingTable
 
+# Response-cache benchmarks, archived separately (BENCH_cache.json): hit,
+# cold miss, and coalesced miss through the live distributor.
+BENCH_CACHE = BenchmarkDistributorCacheHit|BenchmarkDistributorCacheColdMiss|BenchmarkDistributorCacheCoalescedMiss
+
 .PHONY: all vet build test race chaos bench ci
 
 all: ci
@@ -27,10 +31,14 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -v .
 
 # Hot-path benchmarks with allocation counts, archived as JSON so runs can
-# be diffed across commits (BENCH_relay.json is the current snapshot).
+# be diffed across commits (BENCH_relay.json and BENCH_cache.json are the
+# current snapshots).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_relay.json
 	@cat BENCH_relay.json
+	$(GO) test -run '^$$' -bench '$(BENCH_CACHE)' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_cache.json
+	@cat BENCH_cache.json
 
 ci: vet build test race

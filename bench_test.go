@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"webcluster/internal/httpx"
 	"webcluster/internal/l4router"
 	"webcluster/internal/loadbal"
+	"webcluster/internal/respcache"
 	"webcluster/internal/sim"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
@@ -229,8 +231,9 @@ var benchObjects = map[string]int{
 	"/bench1m":    1 << 20,
 }
 
-// liveCluster builds a distributor over two real loopback backends.
-func liveCluster(b *testing.B) (front string, cleanup func()) {
+// liveCluster builds a distributor over two real loopback backends. mods
+// adjust the distributor options (e.g. to enable the response cache).
+func liveCluster(b *testing.B, mods ...func(*distributor.Options)) (front string, cleanup func()) {
 	b.Helper()
 	spec := config.ClusterSpec{DistributorCPUMHz: 350}
 	var closers []func()
@@ -267,7 +270,11 @@ func liveCluster(b *testing.B) (front string, cleanup func()) {
 			b.Fatal(err)
 		}
 	}
-	dist, err := distributor.New(distributor.Options{Table: table, Cluster: spec, PreforkPerNode: 4})
+	opts := distributor.Options{Table: table, Cluster: spec, PreforkPerNode: 4}
+	for _, mod := range mods {
+		mod(&opts)
+	}
+	dist, err := distributor.New(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -357,6 +364,127 @@ func BenchmarkDistributorRelayLarge(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDistributorCacheHit measures one keep-alive request answered
+// from the distributor's response cache — zero backend round trips, the
+// paper's relay cost removed entirely. Acceptance: strictly fewer
+// allocs/op than BenchmarkDistributorRelay (the same request served
+// through a back end).
+func BenchmarkDistributorCacheHit(b *testing.B) {
+	rc := respcache.New(respcache.Options{FreshTTL: time.Hour})
+	front, cleanup := liveCluster(b, func(o *distributor.Options) { o.Cache = rc })
+	defer cleanup()
+	conn, err := net.Dial("tcp", front)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	req := &httpx.Request{
+		Method: "GET", Target: "/bench.html", Path: "/bench.html",
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
+	}
+	fetchOnce := func() {
+		if err := httpx.WriteRequest(conn, req); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := httpx.ReadResponse(br)
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp %v %v", resp, err)
+		}
+	}
+	fetchOnce() // warm: the first request fills the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fetchOnce()
+	}
+	b.StopTimer()
+	if st := rc.Stats(); st.Hits < int64(b.N) {
+		b.Fatalf("cache hits = %d, want ≥ %d (not measuring the hit path)", st.Hits, b.N)
+	}
+}
+
+// BenchmarkDistributorCacheColdMiss measures the miss path: every
+// iteration purges the entry first, so each request leads a singleflight
+// fetch, buffers the body, and stores it.
+func BenchmarkDistributorCacheColdMiss(b *testing.B) {
+	rc := respcache.New(respcache.Options{FreshTTL: time.Hour})
+	front, cleanup := liveCluster(b, func(o *distributor.Options) { o.Cache = rc })
+	defer cleanup()
+	conn, err := net.Dial("tcp", front)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	req := &httpx.Request{
+		Method: "GET", Target: "/bench.html", Path: "/bench.html",
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Invalidate("/bench.html")
+		if err := httpx.WriteRequest(conn, req); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := httpx.ReadResponse(br)
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp %v %v", resp, err)
+		}
+	}
+}
+
+// BenchmarkDistributorCacheCoalescedMiss measures a miss under fan-in:
+// four clients request the purged path at once, the singleflight leader
+// fetches it, and everyone shares the result. The reported time is the
+// whole four-way round, so per-request cost is a quarter of it.
+func BenchmarkDistributorCacheCoalescedMiss(b *testing.B) {
+	rc := respcache.New(respcache.Options{FreshTTL: time.Hour})
+	front, cleanup := liveCluster(b, func(o *distributor.Options) { o.Cache = rc })
+	defer cleanup()
+	const clients = 4
+	conns := make([]net.Conn, clients)
+	readers := make([]*bufio.Reader, clients)
+	for i := range conns {
+		conn, err := net.Dial("tcp", front)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = conn.Close() }()
+		conns[i] = conn
+		readers[i] = bufio.NewReader(conn)
+	}
+	req := &httpx.Request{
+		Method: "GET", Target: "/bench.html", Path: "/bench.html",
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Invalidate("/bench.html")
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if err := httpx.WriteRequest(conns[c], req); err != nil {
+					b.Error(err)
+					return
+				}
+				resp, err := httpx.ReadResponse(readers[c])
+				if err != nil || resp.StatusCode != 200 {
+					b.Errorf("resp %v %v", resp, err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	st := rc.Stats()
+	b.ReportMetric(float64(st.Coalesced)/float64(b.N), "coalesced/op")
 }
 
 // BenchmarkL4RouterRelay is the baseline: one request through the

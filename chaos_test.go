@@ -13,6 +13,7 @@ package webcluster
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"webcluster/internal/distributor"
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
+	"webcluster/internal/respcache"
 	"webcluster/internal/testutil"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
@@ -42,8 +44,9 @@ type chaosCluster struct {
 }
 
 // startChaosCluster boots n backend nodes and a distributor with tight
-// exchange deadlines, all wired to in.
-func startChaosCluster(t *testing.T, in *faults.Injector, n int) *chaosCluster {
+// exchange deadlines, all wired to in. mods adjust the distributor
+// options (e.g. to enable the response cache) before New.
+func startChaosCluster(t *testing.T, in *faults.Injector, n int, mods ...func(*distributor.Options)) *chaosCluster {
 	t.Helper()
 	testutil.NoLeaks(t)
 	cc := &chaosCluster{
@@ -79,14 +82,18 @@ func startChaosCluster(t *testing.T, in *faults.Injector, n int) *chaosCluster {
 		t.Cleanup(func() { _ = srv.Close() })
 	}
 	cc.table = urltable.New(urltable.Options{CacheEntries: 256})
-	dist, err := distributor.New(distributor.Options{
+	opts := distributor.Options{
 		Table:           cc.table,
 		Cluster:         cc.spec,
 		PreforkPerNode:  2,
 		ExchangeTimeout: 250 * time.Millisecond,
 		RetryBackoff:    time.Millisecond,
 		Faults:          in,
-	})
+	}
+	for _, mod := range mods {
+		mod(&opts)
+	}
+	dist, err := distributor.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,6 +396,81 @@ func TestChaosProberBlackhole(t *testing.T) {
 	if h.In.Fired("probe/mid-1") == 0 {
 		t.Fatal("blackhole rule never fired")
 	}
+}
+
+// TestChaosStaleOnError: with the response cache enabled, black-holing
+// every replica of a hot path after its freshness lapses must degrade to
+// stale-on-error service (the expired copy, marked STALE) instead of a
+// 502 — and once the replicas recover, the next fetch revalidates and
+// the path returns to fresh HIT service.
+func TestChaosStaleOnError(t *testing.T) {
+	h := faults.NewHarness(faults.Seed(505), t.Logf)
+	rc := respcache.New(respcache.Options{
+		FreshTTL: 100 * time.Millisecond,
+		StaleTTL: time.Hour,
+	})
+	cc := startChaosCluster(t, h.In, 2, func(o *distributor.Options) { o.Cache = rc })
+	body := []byte("<html>hot object v1</html>")
+	for _, id := range []config.NodeID{"n1", "n2"} {
+		if err := cc.stores[id].Put("/hot.html", body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obj := content.Object{Path: "/hot.html", Size: int64(len(body)), Class: content.ClassHTML}
+	if err := cc.table.Insert(obj, "n1", "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// warm the cache, then let freshness lapse
+	resp, err := getOnce(cc.front, "/hot.html")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("warming fetch: %v %v", resp, err)
+	}
+	if got := resp.Header.Get("X-Dist-Cache"); got != "MISS" {
+		t.Fatalf("warming verdict = %q", got)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	// every replica becomes a slow-loris: each exchange stalls past the
+	// 250ms deadline, so no back end can answer or revalidate
+	h.In.Set("pool.conn/n1", faults.Rule{ReadStall: time.Minute})
+	h.In.Set("pool.conn/n2", faults.Rule{ReadStall: time.Minute})
+	resp, err = getOnce(cc.front, "/hot.html")
+	if err != nil {
+		t.Fatalf("fetch with all replicas down: %v", err)
+	}
+	if resp.StatusCode != 200 || !bytes.Equal(resp.Body, body) {
+		t.Fatalf("stale-on-error: status=%d body=%q", resp.StatusCode, resp.Body)
+	}
+	if got := resp.Header.Get("X-Dist-Cache"); got != "STALE" {
+		t.Fatalf("blackholed verdict = %q, want STALE (seed %d)", got, h.In.Seed())
+	}
+	if h.In.Fired("pool.conn/n1")+h.In.Fired("pool.conn/n2") == 0 {
+		t.Fatal("blackhole rules never fired")
+	}
+
+	// recovery: the stalls lift, the stale entry revalidates (the body
+	// never changed, so the back end answers 304), and service is fresh
+	h.In.Clear("pool.conn/n1")
+	h.In.Clear("pool.conn/n2")
+	resp, err = getOnce(cc.front, "/hot.html")
+	if err != nil {
+		t.Fatalf("post-recovery fetch: %v", err)
+	}
+	if got := resp.Header.Get("X-Dist-Cache"); got != "REVALIDATED" && got != "MISS" {
+		t.Fatalf("post-recovery verdict = %q (seed %d)", got, h.In.Seed())
+	}
+	if resp.StatusCode != 200 || !bytes.Equal(resp.Body, body) {
+		t.Fatalf("post-recovery: status=%d body=%q", resp.StatusCode, resp.Body)
+	}
+	resp, err = getOnce(cc.front, "/hot.html")
+	if err != nil || resp.Header.Get("X-Dist-Cache") != "HIT" {
+		t.Fatalf("fresh service not restored: %v %v", resp, err)
+	}
+	if st := rc.Stats(); st.StaleServed == 0 || st.Revalidated == 0 {
+		t.Fatalf("cache stats after scenario: %+v", st)
+	}
+	assertMappingDrains(t, cc.dist)
 }
 
 // getOnce issues one HTTP/1.1 request with Connection: close.

@@ -14,6 +14,8 @@
 //	console -addr host:7070 status n1
 //	console -addr host:7070 loadsite -objects 500 -workload B -policy type
 //	console -addr host:7070 balance
+//	console -addr host:7070 purge /docs/b.html    # or: purge '*'
+//	console -addr host:7070 cache-stats
 //	console -addr host:7070 audit
 package main
 
@@ -79,7 +81,12 @@ func run(addr string, args []string) error {
 
 	req := mgmt.ConsoleRequest{Op: args[0]}
 	switch args[0] {
-	case "tree", "nodes", "audit", "balance":
+	case "tree", "nodes", "audit", "balance", "cache-stats":
+	case "purge":
+		if len(pos) < 1 {
+			return fmt.Errorf("purge needs a path (or *)")
+		}
+		req.Path = pos[0]
 	case "insert":
 		if len(pos) < 1 {
 			return fmt.Errorf("insert needs a path")
@@ -150,6 +157,14 @@ func run(addr string, args []string) error {
 		printed = true
 	}
 	switch {
+	case resp.Cache != nil:
+		cs := resp.Cache
+		fmt.Printf("entries=%d bytes=%d/%d\n", cs.Entries, cs.Bytes, cs.MaxBytes)
+		fmt.Printf("hits=%d misses=%d revalidated=%d notModified=%d\n",
+			cs.Hits, cs.Misses, cs.Revalidated, cs.NotModified)
+		fmt.Printf("coalesced=%d fills=%d rejected=%d evictions=%d\n",
+			cs.Coalesced, cs.Fills, cs.Rejected, cs.Evictions)
+		fmt.Printf("staleServed=%d invalidations=%d\n", cs.StaleServed, cs.Invalidations)
 	case resp.Tree != "":
 		fmt.Print(resp.Tree)
 	case resp.Status != nil:

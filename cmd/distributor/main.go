@@ -26,6 +26,7 @@ import (
 	"webcluster/internal/distributor"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
+	"webcluster/internal/respcache"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
 )
@@ -38,6 +39,9 @@ func main() {
 	backupOf := flag.String("backup-of", "", "run as backup of the primary replicating at this address")
 	prefork := flag.Int("prefork", 4, "pre-forked connections per node")
 	balanceEvery := flag.Duration("balance", 0, "auto-balance interval (0 = off)")
+	cacheMB := flag.Int64("cache-mb", 0, "front-end response cache budget in MiB (0 = off)")
+	cacheFresh := flag.Duration("cache-fresh", 5*time.Second, "response-cache freshness TTL")
+	cacheStale := flag.Duration("cache-stale", 30*time.Second, "response-cache stale-on-error window")
 	tableFile := flag.String("table", "", "URL-table checkpoint: loaded at start if present, saved on shutdown")
 	accessLog := flag.String("accesslog", "", "append Common Log Format access log to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty = off")
@@ -52,13 +56,20 @@ func main() {
 		}()
 		fmt.Printf("pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery); err != nil {
+	cacheOpts := cacheConfig{mb: *cacheMB, fresh: *cacheFresh, stale: *cacheStale}
+	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery, cacheOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "distributor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork int, balanceEvery time.Duration) error {
+// cacheConfig carries the -cache-* flags.
+type cacheConfig struct {
+	mb           int64
+	fresh, stale time.Duration
+}
+
+func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork int, balanceEvery time.Duration, cacheCfg cacheConfig) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -102,6 +113,17 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 	if logWriter != nil {
 		distOpts.AccessLog = logWriter
 	}
+	var respCache *respcache.Cache
+	if cacheCfg.mb > 0 {
+		respCache = respcache.New(respcache.Options{
+			MaxBytes: cacheCfg.mb << 20,
+			FreshTTL: cacheCfg.fresh,
+			StaleTTL: cacheCfg.stale,
+		})
+		distOpts.Cache = respCache
+		fmt.Printf("response cache: %d MiB, fresh %v, stale window %v\n",
+			cacheCfg.mb, cacheCfg.fresh, cacheCfg.stale)
+	}
 	dist, err := distributor.New(distOpts)
 	if err != nil {
 		return err
@@ -114,6 +136,10 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 	fmt.Printf("distributor serving at %s over %d nodes\n", front, len(spec.Nodes))
 
 	controller := mgmt.NewController(table)
+	if respCache != nil {
+		// management mutations purge the front-end cache synchronously
+		controller.SetCache(respCache)
+	}
 	for _, n := range spec.Nodes {
 		if n.BrokerAddr == "" {
 			return fmt.Errorf("node %s has no brokerAddr", n.ID)

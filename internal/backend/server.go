@@ -221,21 +221,49 @@ func (s *Server) serve(req *httpx.Request) *httpx.Response {
 		s.pageCache.Put(req.Path, cache.Bytes(data))
 	}
 	s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CacheHit: hit})
+	// Conditional requests (the distributor revalidating a cached entry,
+	// or a client with a cached copy): the validator is computed only when
+	// a conditional header is present, keeping the unconditional path free
+	// of the content hash. The store tracks no modification times, so the
+	// entity tag is the sole validator.
+	var etag string
+	if req.Header.Get("If-None-Match") != "" || req.Header.Get("If-Modified-Since") != "" {
+		etag = httpx.StrongETag(body)
+		if httpx.NotModified(req.Header, etag, time.Time{}) {
+			resp := httpx.NewResponse(req.Proto, 304, nil)
+			resp.Header.Set("Etag", etag)
+			resp.Header.Set("X-Served-By", string(s.spec.ID))
+			return resp
+		}
+	}
 	if req.Method == "HEAD" {
 		body = nil
 	}
 	resp := httpx.NewResponse(req.Proto, 200, body)
 	resp.Header.Set("X-Served-By", string(s.spec.ID))
 	resp.Header.Set("X-Cache", map[bool]string{true: "HIT", false: "MISS"}[hit])
+	if etag != "" {
+		resp.Header.Set("Etag", etag)
+	}
 	return resp
+}
+
+// SetDelay replaces the emulated service-time function at runtime.
+func (s *Server) SetDelay(d DelayFunc) {
+	s.mu.Lock()
+	s.delay = d
+	s.mu.Unlock()
 }
 
 // sleepFor applies the emulated service delay.
 func (s *Server) sleepFor(r ServedRequest) {
-	if s.delay == nil {
+	s.mu.Lock()
+	delay := s.delay
+	s.mu.Unlock()
+	if delay == nil {
 		return
 	}
-	if d := s.delay(r); d > 0 {
+	if d := delay(r); d > 0 {
 		time.Sleep(d)
 	}
 }

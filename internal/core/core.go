@@ -24,6 +24,7 @@ import (
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/monitor"
+	"webcluster/internal/respcache"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
 )
@@ -150,6 +151,14 @@ type Options struct {
 	// network layer (backend accept paths, distributor pool, monitor
 	// probes) for chaos testing. Production launches leave it nil.
 	Faults *faults.Injector
+	// CacheBytes, when positive, enables the distributor-side response
+	// cache (respcache) with this byte budget and wires it into the
+	// controller so every management mutation purges affected entries.
+	CacheBytes int64
+	// CacheOptions tunes the response cache beyond the byte budget
+	// (TTLs, shard count, clock). MaxBytes inside it is overridden by
+	// CacheBytes. Ignored when CacheBytes <= 0.
+	CacheOptions respcache.Options
 }
 
 // DefaultSpec returns a 3-node heterogeneous development cluster.
@@ -174,6 +183,8 @@ type Cluster struct {
 	Balancer    *mgmt.AutoBalancer
 	Console     *mgmt.ConsoleServer
 	Monitor     *monitor.Watcher
+	// Cache is the distributor-side response cache, nil when disabled.
+	Cache *respcache.Cache
 	// FrontAddr is the distributor's client-facing address.
 	FrontAddr string
 	// ConsoleAddr is the console endpoint ("" when disabled).
@@ -254,12 +265,21 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 	}
 	c.Spec = spec
 
+	if opts.CacheBytes > 0 {
+		copts := opts.CacheOptions
+		copts.MaxBytes = opts.CacheBytes
+		c.Cache = respcache.New(copts)
+		// the controller purges this cache synchronously on every
+		// content/placement mutation — the coherence half of the design
+		c.Controller.SetCache(c.Cache)
+	}
 	dist, derr := distributor.New(distributor.Options{
 		Table:          c.Table,
 		Cluster:        spec,
 		Picker:         opts.Picker,
 		PreforkPerNode: opts.PreforkPerNode,
 		Faults:         opts.Faults,
+		Cache:          c.Cache,
 	})
 	if derr != nil {
 		return nil, fmt.Errorf("core: %w", derr)

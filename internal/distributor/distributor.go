@@ -20,11 +20,11 @@ import (
 
 	"webcluster/internal/config"
 	"webcluster/internal/conntrack"
-	"webcluster/internal/content"
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/metrics"
+	"webcluster/internal/respcache"
 	"webcluster/internal/urltable"
 )
 
@@ -72,6 +72,11 @@ type Options struct {
 	// Faults, when non-nil, injects connection faults at the pool dial
 	// and relay paths (tests only).
 	Faults *faults.Injector
+	// Cache, when non-nil, serves cacheable GET/HEAD responses straight
+	// from the front end (hits never touch a back end); the management
+	// plane must purge it on every content mutation — wire the same
+	// cache into the controller.
+	Cache *respcache.Cache
 }
 
 // Distributor is the content-aware front end. Construct with New.
@@ -82,6 +87,7 @@ type Distributor struct {
 	pool    *conntrack.Pool
 	mapping *conntrack.MappingTable
 	tracker *loadbal.Tracker
+	cache   *respcache.Cache
 
 	active map[config.NodeID]*atomic.Int64
 	// down marks nodes the monitor has declared failed; pickReplica
@@ -166,6 +172,7 @@ func New(opts Options) (*Distributor, error) {
 		cluster:   opts.Cluster,
 		picker:    picker,
 		mapping:   conntrack.NewMappingTable(),
+		cache:     opts.Cache,
 		tracker:   loadbal.NewTracker(weights),
 		active:    make(map[config.NodeID]*atomic.Int64, len(opts.Cluster.Nodes)),
 		conns:     make(map[net.Conn]struct{}),
@@ -349,6 +356,14 @@ func (d *Distributor) serveClient(client net.Conn) {
 // relayRequest routes one parsed request and relays the response. It
 // reports whether the client connection remains usable.
 func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req *httpx.Request) bool {
+	if d.cache != nil && cacheEligible(req) {
+		// Cache hits (and cache-led fetches) never bind a back-end
+		// connection, so the mapping entry stays ESTABLISHED; a miss the
+		// cache declines falls through to the ordinary relay below.
+		if handled, ok := d.serveFromCache(client, key, req); handled {
+			return ok
+		}
+	}
 	start := time.Now()
 	rec, err := d.table.Route(req.Path)
 	if err != nil {
@@ -400,45 +415,12 @@ func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req
 	}
 
 	// Response header is parsed; the body still sits on the back-end
-	// connection. Stream it to the client through a pooled buffer. The
-	// exchange deadline stays armed across the copy so a back end that
-	// stalls mid-body cannot pin this goroutine.
-	relayed, relayErr := httpx.RelayResponse(client, resp, pc.Reader, req.Proto, !req.KeepAlive())
-	if relayErr != nil {
-		// The header already reached the client, so the exchange cannot
-		// be retried; the back-end connection has lost framing either
-		// way. Reset the mapping (caller) and drop both connections.
-		d.pool.Discard(pc)
-		if errors.Is(relayErr, httpx.ErrBodyTruncated) {
-			d.truncations.Add(1)
-		}
-		d.logAccess(key, req, resp.StatusCode, int(relayed))
+	// connection. streamResponse copies it to the client through a pooled
+	// buffer and records the exchange. The exchange deadline stays armed
+	// across the copy so a back end that stalls mid-body cannot pin this
+	// goroutine.
+	if !d.streamResponse(client, key, req, node, pc, resp, start, routeCost) {
 		return false
-	}
-	if d.exchangeTimeout > 0 {
-		if err := pc.Conn.SetDeadline(time.Time{}); err != nil {
-			d.pool.Discard(pc)
-			return false
-		}
-	}
-	if resp.KeepAlive() {
-		d.pool.Release(pc)
-	} else {
-		d.pool.Discard(pc)
-	}
-
-	procTime := time.Since(start)
-	d.routed.Add(1)
-	d.relayNs.Add(int64(routeCost))
-	d.logAccess(key, req, resp.StatusCode, int(relayed))
-	class := content.Classify(req.Path)
-	d.tracker.Record(node, class, procTime)
-	cs := d.stats.Class(class.String())
-	cs.Requests.Inc()
-	cs.Bytes.Add(relayed)
-	cs.Latency.Observe(procTime)
-	if resp.StatusCode >= 400 {
-		cs.Errors.Inc()
 	}
 	if _, err := d.mapping.Advance(key, conntrack.EventRequestDone); err != nil {
 		return false

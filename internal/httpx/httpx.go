@@ -175,10 +175,28 @@ func writeField(bw *bufio.Writer, key, value string) {
 	_, _ = bw.WriteString("\r\n")
 }
 
-// writeInt emits n in decimal without allocating.
+// writeInt emits n in decimal without allocating. Digits go out through
+// WriteByte: handing bw a slice of a stack buffer would force the buffer
+// to the heap (bufio may pass large writes straight to the underlying
+// writer, so the slice escapes).
 func writeInt(bw *bufio.Writer, n int64) {
+	if n < 0 {
+		_ = bw.WriteByte('-')
+		n = -n
+	}
 	var scratch [20]byte
-	_, _ = bw.Write(strconv.AppendInt(scratch[:0], n, 10))
+	i := len(scratch)
+	for {
+		i--
+		scratch[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for ; i < len(scratch); i++ {
+		_ = bw.WriteByte(scratch[i])
+	}
 }
 
 // Request is a parsed HTTP request.
@@ -264,6 +282,10 @@ func internValue(b []byte) string {
 		return "HIT"
 	case "MISS":
 		return "MISS"
+	case "STALE":
+		return "STALE"
+	case "REVALIDATED":
+		return "REVALIDATED"
 	}
 	return string(b)
 }
@@ -304,6 +326,20 @@ func canonFieldKey(b []byte) string {
 		return "X-Served-By"
 	case "X-Cache":
 		return "X-Cache"
+	case "X-Dist-Cache":
+		return "X-Dist-Cache"
+	case "Etag":
+		return "Etag"
+	case "Last-Modified":
+		return "Last-Modified"
+	case "Date":
+		return "Date"
+	case "Age":
+		return "Age"
+	case "If-None-Match":
+		return "If-None-Match"
+	case "If-Modified-Since":
+		return "If-Modified-Since"
 	}
 	return string(s)
 }
@@ -479,6 +515,8 @@ func statusText(code int) string {
 	switch code {
 	case 200:
 		return "OK"
+	case 304:
+		return "Not Modified"
 	case 400:
 		return "Bad Request"
 	case 404:
@@ -500,6 +538,8 @@ func internStatus(b []byte) string {
 	switch string(b) {
 	case "OK":
 		return "OK"
+	case "Not Modified":
+		return "Not Modified"
 	case "Bad Request":
 		return "Bad Request"
 	case "Not Found":

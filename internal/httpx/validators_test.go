@@ -1,0 +1,222 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPTimeRoundTrip(t *testing.T) {
+	t0 := time.Date(2000, time.April, 10, 8, 30, 15, 0, time.UTC)
+	s := FormatHTTPTime(t0)
+	if s != "Mon, 10 Apr 2000 08:30:15 GMT" {
+		t.Fatalf("FormatHTTPTime = %q", s)
+	}
+	got, err := ParseHTTPTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(t0) {
+		t.Fatalf("round trip = %v, want %v", got, t0)
+	}
+	if _, err := ParseHTTPTime("Monday, 10-Apr-00 08:30:15 GMT"); err != nil {
+		t.Fatalf("RFC 850 layout rejected: %v", err)
+	}
+	if _, err := ParseHTTPTime("not a date"); err == nil {
+		t.Fatal("garbage date parsed")
+	}
+}
+
+func TestCurrentDateCached(t *testing.T) {
+	a := CurrentDate()
+	b := CurrentDate()
+	if a != b && a[:20] != b[:20] {
+		// the second may have rolled over between calls, but both must
+		// still be valid HTTP dates
+		if _, err := ParseHTTPTime(b); err != nil {
+			t.Fatalf("CurrentDate produced unparsable %q", b)
+		}
+	}
+	if _, err := ParseHTTPTime(a); err != nil {
+		t.Fatalf("CurrentDate produced unparsable %q: %v", a, err)
+	}
+}
+
+func TestStrongETag(t *testing.T) {
+	a := StrongETag([]byte("hello"))
+	b := StrongETag([]byte("hello"))
+	c := StrongETag([]byte("world"))
+	if a != b {
+		t.Fatalf("same content, different tags: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Fatalf("different content, same tag %q", a)
+	}
+	if !strings.HasPrefix(a, `"`) || !strings.HasSuffix(a, `"`) {
+		t.Fatalf("not a quoted tag: %q", a)
+	}
+	if empty := StrongETag(nil); empty == a || len(empty) < 3 {
+		t.Fatalf("empty-body tag = %q", empty)
+	}
+}
+
+func TestETagMatch(t *testing.T) {
+	etag := `"abc-123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"abc-123"`, true},
+		{`*`, true},
+		{`"zzz", "abc-123"`, true},
+		{`W/"abc-123"`, true},
+		{`"abc-124"`, false},
+		{``, false},
+		{`"zzz" , "abc-123" , "yyy"`, true},
+	}
+	for _, tc := range cases {
+		if got := ETagMatch(tc.header, etag); got != tc.want {
+			t.Errorf("ETagMatch(%q, %q) = %v, want %v", tc.header, etag, got, tc.want)
+		}
+	}
+}
+
+func TestNotModified(t *testing.T) {
+	lm := time.Date(2024, time.March, 1, 12, 0, 0, 0, time.UTC)
+	etag := `"tag"`
+	h := NewHeader("If-None-Match", `"tag"`)
+	if !NotModified(h, etag, lm) {
+		t.Fatal("matching If-None-Match not honored")
+	}
+	// If-None-Match takes precedence over If-Modified-Since
+	h = NewHeader("If-None-Match", `"other"`, "If-Modified-Since", FormatHTTPTime(lm))
+	if NotModified(h, etag, lm) {
+		t.Fatal("mismatched If-None-Match must win over a matching date")
+	}
+	h = NewHeader("If-Modified-Since", FormatHTTPTime(lm))
+	if !NotModified(h, etag, lm) {
+		t.Fatal("equal If-Modified-Since should be not-modified")
+	}
+	h = NewHeader("If-Modified-Since", FormatHTTPTime(lm.Add(-time.Hour)))
+	if NotModified(h, etag, lm) {
+		t.Fatal("older client copy must be modified")
+	}
+	if NotModified(NewHeader("If-Modified-Since", FormatHTTPTime(lm)), etag, time.Time{}) {
+		t.Fatal("zero lastModified must disable the date check")
+	}
+}
+
+// parseServed reads one serialized response off the buffer.
+func parseServed(t *testing.T, buf *bytes.Buffer) *Response {
+	t.Helper()
+	resp, err := ReadResponse(bufio.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServeStored(t *testing.T) {
+	body := []byte("<html>cached</html>")
+	s := &Stored{
+		StatusCode:   200,
+		ContentType:  "text/html",
+		ETag:         StrongETag(body),
+		LastModified: "Mon, 10 Apr 2000 08:30:15 GMT",
+		Date:         "Mon, 10 Apr 2000 08:30:20 GMT",
+		Body:         body,
+	}
+	var buf bytes.Buffer
+	if err := ServeStored(&buf, s, ServeOptions{Proto: Proto11, AgeSeconds: 7, CacheStatus: "HIT"}); err != nil {
+		t.Fatal(err)
+	}
+	resp := parseServed(t, &buf)
+	if resp.StatusCode != 200 || !bytes.Equal(resp.Body, body) {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, resp.Body)
+	}
+	for key, want := range map[string]string{
+		"Content-Type":  "text/html",
+		"Etag":          s.ETag,
+		"Last-Modified": s.LastModified,
+		"Date":          s.Date,
+		"Age":           "7",
+		"X-Dist-Cache":  "HIT",
+	} {
+		if got := resp.Header.Get(key); got != want {
+			t.Errorf("%s = %q, want %q", key, got, want)
+		}
+	}
+
+	// HEAD: full Content-Length, no body
+	buf.Reset()
+	if err := ServeStored(&buf, s, ServeOptions{Proto: Proto11, Head: true, AgeSeconds: -1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Content-Length: 19\r\n") {
+		t.Fatalf("HEAD lost the representation length:\n%s", out)
+	}
+	if strings.Contains(out, "cached") {
+		t.Fatalf("HEAD carried a body:\n%s", out)
+	}
+	if strings.Contains(out, "Age:") {
+		t.Fatalf("negative AgeSeconds still emitted Age:\n%s", out)
+	}
+
+	// 304: validators only, no body, zero Content-Length
+	buf.Reset()
+	if err := ServeStored(&buf, s, ServeOptions{Proto: Proto11, NotModified: true, AgeSeconds: 0}); err != nil {
+		t.Fatal(err)
+	}
+	resp = parseServed(t, &buf)
+	if resp.StatusCode != 304 || len(resp.Body) != 0 {
+		t.Fatalf("304 replay: status=%d body=%q", resp.StatusCode, resp.Body)
+	}
+	if resp.Header.Get("Etag") != s.ETag {
+		t.Fatal("304 lost the validator")
+	}
+	if resp.Header.Get("Content-Type") != "" {
+		t.Fatal("304 carried Content-Type")
+	}
+
+	// ForceClose appends the Connection header
+	buf.Reset()
+	if err := ServeStored(&buf, s, ServeOptions{Proto: Proto10, AgeSeconds: -1, ForceClose: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Connection: close\r\n") {
+		t.Fatal("ForceClose missing")
+	}
+}
+
+func TestServeStoredAllocs(t *testing.T) {
+	body := bytes.Repeat([]byte("x"), 4096)
+	s := &Stored{
+		StatusCode:  200,
+		ContentType: "text/html",
+		ETag:        StrongETag(body),
+		Date:        CurrentDate(),
+		Body:        body,
+	}
+	var sink bytes.Buffer
+	sink.Grow(8192)
+	allocs := testing.AllocsPerRun(200, func() {
+		sink.Reset()
+		if err := ServeStored(&sink, s, ServeOptions{
+			Proto: Proto11, AgeSeconds: 1, CacheStatus: "HIT",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("ServeStored allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestStatusText304(t *testing.T) {
+	if got := statusText(304); got != "Not Modified" {
+		t.Fatalf("statusText(304) = %q", got)
+	}
+}

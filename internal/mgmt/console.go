@@ -11,6 +11,7 @@ import (
 	"webcluster/internal/content"
 	"webcluster/internal/doctree"
 	"webcluster/internal/monitor"
+	"webcluster/internal/respcache"
 )
 
 // The remote console (§3.1/§3.2). The paper ships a Java-applet GUI; this
@@ -48,6 +49,8 @@ type ConsoleResponse struct {
 	Nodes   []config.NodeID     `json:"nodes,omitempty"`
 	Actions []string            `json:"actions,omitempty"`
 	Message string              `json:"message,omitempty"`
+	// Cache carries the front-end response-cache counters (cache-stats).
+	Cache *respcache.Stats `json:"cache,omitempty"`
 }
 
 // SiteLoader services the console's loadsite command: generate a synthetic
@@ -236,6 +239,21 @@ func (s *ConsoleServer) handle(req ConsoleRequest) ConsoleResponse {
 			return fail(err)
 		}
 		return ConsoleResponse{OK: true, Status: &st}
+	case "purge":
+		if req.Path == "" {
+			return fail(fmt.Errorf("console: purge requires a path (or *)"))
+		}
+		n, err := s.controller.Purge(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: fmt.Sprintf("purged %s (%d entries)", req.Path, n)}
+	case "cache-stats":
+		stats, ok := s.controller.CacheStats()
+		if !ok {
+			return fail(fmt.Errorf("console: no response cache attached"))
+		}
+		return ConsoleResponse{OK: true, Cache: &stats}
 	case "audit":
 		return ConsoleResponse{OK: true, Audit: s.controller.AuditLog()}
 	case "loadsite":

@@ -12,8 +12,21 @@ import (
 	"webcluster/internal/doctree"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/monitor"
+	"webcluster/internal/respcache"
 	"webcluster/internal/urltable"
 )
+
+// CacheView is the slice of the distributor's response cache the
+// management plane drives: synchronous purges after every content or
+// placement mutation, and counters for the console. Wiring one in is what
+// makes the front-end cache coherent — the controller purges affected
+// paths before a mutation returns, so the cache never serves content the
+// doctree no longer holds.
+type CacheView interface {
+	Invalidate(path string) int
+	InvalidateAll() int
+	Stats() respcache.Stats
+}
 
 // Controller is the special daemon that receives administrator requests
 // and dispatches agents to brokers (§3.1). It owns the agent repository,
@@ -27,6 +40,7 @@ type Controller struct {
 	brokers map[config.NodeID]*BrokerClient
 	repo    map[string]Spec
 	audit   []string
+	cache   CacheView
 
 	installsSent int64
 }
@@ -91,6 +105,60 @@ func (c *Controller) InstallsSent() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.installsSent
+}
+
+// SetCache attaches the front-end response cache so mutations purge it.
+func (c *Controller) SetCache(v CacheView) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = v
+}
+
+// cacheView returns the attached cache, nil when none.
+func (c *Controller) cacheView() CacheView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache
+}
+
+// purgeCache synchronously invalidates path in the front-end cache after
+// the op mutation committed, auditing the purge. Called with the mutation
+// already applied on every node and in the table, so a fetch racing the
+// purge can only observe post-mutation content.
+func (c *Controller) purgeCache(op, path string) {
+	v := c.cacheView()
+	if v == nil {
+		return
+	}
+	n := v.Invalidate(path)
+	c.logf("OK purge %s after %s (%d entries)", path, op, n)
+}
+
+// Purge drops path from the front-end cache on demand (console
+// operation); path "*" empties the cache. Returns entries dropped.
+func (c *Controller) Purge(path string) (int, error) {
+	v := c.cacheView()
+	if v == nil {
+		return 0, errors.New("controller: no response cache attached")
+	}
+	var n int
+	if path == "*" {
+		n = v.InvalidateAll()
+	} else {
+		n = v.Invalidate(path)
+	}
+	c.logf("OK purge %s by console (%d entries)", path, n)
+	return n, nil
+}
+
+// CacheStats snapshots the attached cache's counters; ok is false when no
+// cache is wired in.
+func (c *Controller) CacheStats() (stats respcache.Stats, ok bool) {
+	v := c.cacheView()
+	if v == nil {
+		return respcache.Stats{}, false
+	}
+	return v.Stats(), true
 }
 
 // logf appends to the audit log.
@@ -211,7 +279,13 @@ func (c *Controller) Insert(obj content.Object, data []byte, nodes ...config.Nod
 	if err != nil {
 		return err
 	}
-	return c.Execute(plan)
+	if err := c.Execute(plan); err != nil {
+		return err
+	}
+	// a path can be re-inserted after a delete while a 404 relay is in
+	// flight; the purge dooms any such fetch
+	c.purgeCache("insert", obj.Path)
+	return nil
 }
 
 // Delete removes an object everywhere (console operation).
@@ -220,7 +294,11 @@ func (c *Controller) Delete(path string) error {
 	if err != nil {
 		return err
 	}
-	return c.Execute(plan)
+	if err := c.Execute(plan); err != nil {
+		return err
+	}
+	c.purgeCache("delete", path)
+	return nil
 }
 
 // Rename renames an object everywhere (console operation).
@@ -229,7 +307,12 @@ func (c *Controller) Rename(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	return c.Execute(plan)
+	if err := c.Execute(plan); err != nil {
+		return err
+	}
+	c.purgeCache("rename", oldPath)
+	c.purgeCache("rename", newPath)
+	return nil
 }
 
 // Replicate copies an object to target (console operation; also the
@@ -239,7 +322,11 @@ func (c *Controller) Replicate(path string, source, target config.NodeID) error 
 	if err != nil {
 		return err
 	}
-	return c.Execute(plan)
+	if err := c.Execute(plan); err != nil {
+		return err
+	}
+	c.purgeCache("replicate", path)
+	return nil
 }
 
 // Offload removes node's copy of an object (console operation; also the
@@ -249,7 +336,11 @@ func (c *Controller) Offload(path string, node config.NodeID) error {
 	if err != nil {
 		return err
 	}
-	return c.Execute(plan)
+	if err := c.Execute(plan); err != nil {
+		return err
+	}
+	c.purgeCache("offload", path)
+	return nil
 }
 
 // Assign moves an object to exactly the given nodes (console operation).
@@ -258,7 +349,11 @@ func (c *Controller) Assign(path string, nodes ...config.NodeID) error {
 	if err != nil {
 		return err
 	}
-	return c.Execute(plan)
+	if err := c.Execute(plan); err != nil {
+		return err
+	}
+	c.purgeCache("assign", path)
+	return nil
 }
 
 // SetPriority updates an object's priority in the table.
@@ -286,6 +381,9 @@ func (c *Controller) Update(path string, data []byte) error {
 		}
 	}
 	c.logf("OK update %s on %v (%d bytes)", path, rec.Locations, len(data))
+	// purge only after every replica holds the new content: a fetch that
+	// starts after this point reads post-mutation bytes from any node
+	c.purgeCache("update", path)
 	return nil
 }
 

@@ -1,0 +1,411 @@
+package respcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webcluster/internal/httpx"
+)
+
+// fakeClock is a manually-advanced cache clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2024, time.June, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func storedBody(n int) httpx.Stored {
+	body := make([]byte, n)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	return httpx.Stored{StatusCode: 200, ContentType: "text/html", Body: body}
+}
+
+// testCache builds a single-shard cache with a fake clock so recency,
+// admission, and freshness are all deterministic.
+func testCache(maxBytes int64) (*Cache, *fakeClock) {
+	clk := newFakeClock()
+	c := New(Options{
+		MaxBytes: maxBytes,
+		Shards:   1,
+		FreshTTL: 10 * time.Second,
+		StaleTTL: 20 * time.Second,
+		Clock:    clk.now,
+	})
+	return c, clk
+}
+
+func TestSketchBumpEstimate(t *testing.T) {
+	s := newSketch(16)
+	h := hashKey("/a.html")
+	if got := s.estimate(h); got != 0 {
+		t.Fatalf("fresh sketch estimate = %d", got)
+	}
+	for i := 1; i <= 5; i++ {
+		s.bump(h)
+		if got := s.estimate(h); got != byte(i) {
+			t.Fatalf("after %d bumps estimate = %d", i, got)
+		}
+	}
+	// counters saturate at 15
+	for i := 0; i < 40; i++ {
+		s.bump(h)
+	}
+	if got := s.estimate(h); got != 15 {
+		t.Fatalf("saturated estimate = %d, want 15", got)
+	}
+	// aging halves every counter
+	s.age()
+	if got := s.estimate(h); got != 7 {
+		t.Fatalf("aged estimate = %d, want 7", got)
+	}
+	// an unrelated key stays near zero
+	if got := s.estimate(hashKey("/never-seen")); got > 1 {
+		t.Fatalf("cold key estimate = %d", got)
+	}
+}
+
+func TestSketchAgingTriggers(t *testing.T) {
+	s := newSketch(1) // 256 counters, sample window 2048
+	hot := hashKey("/hot")
+	for i := 0; i < 30; i++ {
+		s.bump(hot)
+	}
+	// churn distinct keys until the sample window rolls the sketch over
+	for i := 0; s.estimate(hot) == 15 && i < 4*s.sample; i++ {
+		s.bump(hashKey(fmt.Sprintf("/churn/%d", i)))
+	}
+	if got := s.estimate(hot); got >= 15 {
+		t.Fatalf("aging never decayed the hot key: estimate = %d", got)
+	}
+}
+
+func TestGetStateTransitions(t *testing.T) {
+	c, clk := testCache(1 << 20)
+	const path = "/page.html"
+	if e, st := c.Get(path); st != Miss || e != nil {
+		t.Fatalf("empty cache Get = (%v, %v)", e, st)
+	}
+	e := NewEntry(storedBody(100), c.Now(), c.FreshFor())
+	if !c.Put(path, e) {
+		t.Fatal("Put into empty cache rejected")
+	}
+	if got, st := c.Get(path); st != Fresh || got != e {
+		t.Fatalf("after Put Get = (%v, %v)", got, st)
+	}
+	clk.advance(11 * time.Second) // past FreshTTL
+	if got, st := c.Get(path); st != Stale || got != e {
+		t.Fatalf("after expiry Get = (%v, %v)", got, st)
+	}
+	if age := e.AgeSeconds(c.Now()); age != 11 {
+		t.Fatalf("AgeSeconds = %d, want 11", age)
+	}
+	// a 304 revalidation restores freshness and resets Age
+	c.Refresh(e)
+	if _, st := c.Get(path); st != Fresh {
+		t.Fatalf("after Refresh state = %v", st)
+	}
+	if age := e.AgeSeconds(c.Now()); age != 0 {
+		t.Fatalf("AgeSeconds after Refresh = %d", age)
+	}
+	clk.advance(31 * time.Second) // past FreshTTL+StaleTTL
+	if got, st := c.Get(path); st != Miss || got != nil {
+		t.Fatalf("past stale horizon Get = (%v, %v)", got, st)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("expired entry still resident: %+v", st)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Miss.String() != "miss" || Fresh.String() != "fresh" || Stale.String() != "stale" {
+		t.Fatalf("State strings: %v %v %v", Miss, Fresh, Stale)
+	}
+}
+
+func TestPutRejectsOversizedBody(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{MaxBytes: 1 << 20, MaxEntryBytes: 512, Shards: 1, Clock: clk.now})
+	e := NewEntry(storedBody(1024), c.Now(), c.FreshFor())
+	if c.Put("/big", e) {
+		t.Fatal("oversized body admitted")
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Fills != 0 {
+		t.Fatalf("stats after oversized put: %+v", st)
+	}
+}
+
+// place runs the distributor's miss sequence: a Get (which records the
+// path in the frequency sketch) followed by a Put.
+func place(t *testing.T, c *Cache, path string, size int) *Entry {
+	t.Helper()
+	c.Get(path)
+	e := NewEntry(storedBody(size), c.Now(), c.FreshFor())
+	if !c.Put(path, e) {
+		t.Fatalf("Put(%s) rejected", path)
+	}
+	return e
+}
+
+func TestAdmissionRejectsColdCandidate(t *testing.T) {
+	// budget fits three ~1256-byte entries (1000 body + overhead)
+	c, _ := testCache(4096)
+	for _, p := range []string{"/a", "/b", "/c"} {
+		place(t, c, p, 1000)
+	}
+	// heat the residents so the probation victim outranks a newcomer
+	for i := 0; i < 5; i++ {
+		for _, p := range []string{"/a", "/b", "/c"} {
+			c.Get(p)
+		}
+	}
+	// a one-hit-wonder must not displace them
+	c.Get("/cold")
+	cold := NewEntry(storedBody(1000), c.Now(), c.FreshFor())
+	if c.Put("/cold", cold) {
+		t.Fatal("cold candidate displaced a hot resident")
+	}
+	for _, p := range []string{"/a", "/b", "/c"} {
+		if _, st := c.Get(p); st != Fresh {
+			t.Fatalf("%s lost after rejected admission: %v", p, st)
+		}
+	}
+	// once the candidate is requested often enough, it wins the duel
+	for i := 0; i < 10; i++ {
+		c.Get("/hot")
+	}
+	hot := NewEntry(storedBody(1000), c.Now(), c.FreshFor())
+	if !c.Put("/hot", hot) {
+		t.Fatal("hot candidate rejected")
+	}
+	if _, st := c.Get("/hot"); st != Fresh {
+		t.Fatal("admitted entry not served")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("admission evicted nothing: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("budget blown: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestProtectedSegmentSurvivesEviction(t *testing.T) {
+	c, _ := testCache(4096)
+	place(t, c, "/keep", 1000)
+	c.Get("/keep") // second hit promotes to protected
+	place(t, c, "/b", 1000)
+	place(t, c, "/c", 1000)
+	// hot newcomer forces one eviction; the probation tail (/b) must go
+	// before the protected entry
+	for i := 0; i < 8; i++ {
+		c.Get("/new")
+	}
+	if !c.Put("/new", NewEntry(storedBody(1000), c.Now(), c.FreshFor())) {
+		t.Fatal("hot newcomer rejected")
+	}
+	if _, st := c.Get("/keep"); st != Fresh {
+		t.Fatal("protected entry evicted while probation had a victim")
+	}
+	if _, st := c.Get("/b"); st != Miss {
+		t.Fatal("probation tail survived eviction")
+	}
+}
+
+func TestReplacementStaysInBudget(t *testing.T) {
+	c, _ := testCache(4096)
+	place(t, c, "/a", 1000)
+	place(t, c, "/b", 1000)
+	// replace /a with a much larger body: same key, so no admission
+	// duel, but the budget must still hold afterwards
+	big := NewEntry(storedBody(3000), c.Now(), c.FreshFor())
+	if !c.Put("/a", big) {
+		t.Fatal("replacement rejected")
+	}
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("replacement blew the budget: %d > %d", st.Bytes, st.MaxBytes)
+	}
+	if got, state := c.Get("/a"); state != Fresh || got != big {
+		t.Fatalf("replacement not visible: (%v, %v)", got, state)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, _ := testCache(1 << 20)
+	place(t, c, "/x", 100)
+	place(t, c, "/y", 100)
+	if n := c.Invalidate("/x"); n != 1 {
+		t.Fatalf("Invalidate dropped %d", n)
+	}
+	if n := c.Invalidate("/x"); n != 0 {
+		t.Fatalf("second Invalidate dropped %d", n)
+	}
+	if _, st := c.Get("/x"); st != Miss {
+		t.Fatal("invalidated entry still served")
+	}
+	if _, st := c.Get("/y"); st != Fresh {
+		t.Fatal("unrelated entry lost")
+	}
+	if n := c.InvalidateAll(); n != 1 {
+		t.Fatalf("InvalidateAll dropped %d, want 1", n)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("cache not empty after InvalidateAll: %+v", st)
+	}
+}
+
+func TestFlightCoalescing(t *testing.T) {
+	c, _ := testCache(1 << 20)
+	f1, leader := c.BeginFlight("/p")
+	if !leader {
+		t.Fatal("first flight not leader")
+	}
+	f2, leader2 := c.BeginFlight("/p")
+	if leader2 || f2 != f1 {
+		t.Fatal("second requester did not join the flight")
+	}
+	done := make(chan *Entry, 1)
+	go func() {
+		e, err := f2.Wait()
+		if err != nil {
+			t.Error(err)
+		}
+		done <- e
+	}()
+	e := NewEntry(storedBody(100), c.Now(), c.FreshFor())
+	f1.Finish(e, nil)
+	if got := <-done; got != e {
+		t.Fatalf("follower got %v", got)
+	}
+	// the leader's result was stored
+	if _, st := c.Get("/p"); st != Fresh {
+		t.Fatal("coalesced fetch not cached")
+	}
+	if st := c.Stats(); st.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", st.Coalesced)
+	}
+	// the flight is detached: a new miss starts a new fetch
+	if _, leader := c.BeginFlight("/p"); !leader {
+		t.Fatal("finished flight still registered")
+	}
+}
+
+func TestFlightErrorShared(t *testing.T) {
+	c, _ := testCache(1 << 20)
+	f, _ := c.BeginFlight("/err")
+	f2, _ := c.BeginFlight("/err")
+	wantErr := fmt.Errorf("backend down")
+	go f.Finish(nil, wantErr)
+	if _, err := f2.Wait(); err != wantErr {
+		t.Fatalf("follower err = %v", err)
+	}
+	if _, st := c.Get("/err"); st != Miss {
+		t.Fatal("errored flight stored an entry")
+	}
+}
+
+func TestInvalidateDoomsFlight(t *testing.T) {
+	c, _ := testCache(1 << 20)
+	f, _ := c.BeginFlight("/doomed")
+	c.Invalidate("/doomed")
+	if !f.Doomed() {
+		t.Fatal("invalidation did not doom the in-flight fetch")
+	}
+	// the doomed flight was detached: a post-purge requester gets a
+	// fresh flight, not the pre-mutation response
+	f2, leader := c.BeginFlight("/doomed")
+	if !leader || f2 == f {
+		t.Fatal("post-invalidate requester adopted the doomed flight")
+	}
+	// the doomed leader's result reaches its own waiters but is never
+	// stored, and finishing must not unregister the successor flight
+	e := NewEntry(storedBody(100), c.Now(), c.FreshFor())
+	f.Finish(e, nil)
+	if got, err := f.Wait(); got != e || err != nil {
+		t.Fatalf("doomed flight Wait = (%v, %v)", got, err)
+	}
+	if _, st := c.Get("/doomed"); st != Miss {
+		t.Fatal("doomed flight stored its pre-mutation entry")
+	}
+	c.flightMu.Lock()
+	cur := c.flights["/doomed"]
+	c.flightMu.Unlock()
+	if cur != f2 {
+		t.Fatalf("successor flight lost: %v", cur)
+	}
+	f2.Finish(nil, nil)
+}
+
+func TestStatsCounters(t *testing.T) {
+	c, clk := testCache(1 << 20)
+	c.Get("/s") // miss
+	e := NewEntry(storedBody(64), c.Now(), c.FreshFor())
+	c.Put("/s", e)
+	c.Get("/s") // hit
+	clk.advance(11 * time.Second)
+	c.Get("/s") // stale (neither hit nor miss)
+	c.CountStale()
+	c.CountNotModified()
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 ||
+		st.StaleServed != 1 || st.NotModified != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Entries != 1 || st.Bytes != e.Size() || st.MaxBytes != 1<<20 {
+		t.Fatalf("residency = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{MaxBytes: 64 << 10, Shards: 4, FreshTTL: time.Hour, Clock: clk.now})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("/obj/%d", i%17)
+				switch {
+				case i%31 == 0:
+					c.Invalidate(path)
+				case i%7 == 0:
+					f, leader := c.BeginFlight(path)
+					if leader {
+						f.Finish(NewEntry(storedBody(128), c.Now(), c.FreshFor()), nil)
+					} else {
+						_, _ = f.Wait()
+					}
+				default:
+					if _, st := c.Get(path); st == Miss {
+						c.Put(path, NewEntry(storedBody(128), c.Now(), c.FreshFor()))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("budget blown under concurrency: %d > %d", st.Bytes, st.MaxBytes)
+	}
+}
