@@ -7,12 +7,28 @@ BENCH_HOT = BenchmarkDistributorRelay$$|BenchmarkDistributorRelayLarge|Benchmark
 # cold miss, and coalesced miss through the live distributor.
 BENCH_CACHE = BenchmarkDistributorCacheHit|BenchmarkDistributorCacheColdMiss|BenchmarkDistributorCacheCoalescedMiss
 
-.PHONY: all vet build test race chaos bench ci
+.PHONY: all vet lint build test race chaos bench allocguard ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: the repo's own distlint suite always runs; staticcheck
+# and govulncheck run when installed (CI pins their versions; locally
+# they are optional so a bare toolchain can still lint).
+lint:
+	$(GO) run ./cmd/distlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -41,4 +57,11 @@ bench:
 		| $(GO) run ./cmd/benchjson > BENCH_cache.json
 	@cat BENCH_cache.json
 
-ci: vet build test race
+# Allocation regression gate: a fast -benchtime=100x pass is enough,
+# because allocs/op is deterministic; benchguard fails when the relay
+# fast path allocates more than the archived snapshot allows.
+allocguard:
+	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelay$$' -benchtime=100x -benchmem . \
+		| $(GO) run ./cmd/benchguard -snapshot BENCH_relay.json
+
+ci: vet lint build test race allocguard

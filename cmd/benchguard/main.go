@@ -1,0 +1,134 @@
+// Command benchguard compares `go test -bench -benchmem` text output on
+// stdin against an archived snapshot (BENCH_relay.json) and exits
+// non-zero when a benchmark's allocs/op regresses past the tolerance.
+// Allocation counts are deterministic even at -benchtime=100x, so CI can
+// run a fast smoke pass and still catch fast-path regressions:
+//
+//	go test -run '^$' -bench 'BenchmarkDistributorRelay$' \
+//	    -benchtime=100x -benchmem . | benchguard -snapshot BENCH_relay.json
+//
+// Only benchmarks present in both the input and the snapshot with a
+// recorded allocs/op are compared; timings are ignored (they are noisy at
+// smoke benchtimes).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// snapshotEntry mirrors the fields benchguard needs from the JSON that
+// cmd/benchjson archives.
+type snapshotEntry struct {
+	Name        string `json:"name"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+func main() {
+	snapshot := flag.String("snapshot", "BENCH_relay.json", "archived benchmark JSON to compare against")
+	tolerance := flag.Int64("tolerance", 2, "allowed allocs/op increase over the snapshot")
+	flag.Parse()
+
+	baseline, err := readSnapshot(*snapshot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	current, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	compared, failures := 0, 0
+	for name, allocs := range current {
+		base, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		compared++
+		if allocs > base+*tolerance {
+			failures++
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %d allocs/op, snapshot %d (tolerance +%d)\n",
+				name, allocs, base, *tolerance)
+			continue
+		}
+		fmt.Printf("benchguard: %s: %d allocs/op (snapshot %d) ok\n", name, allocs, base)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmarks in common with the snapshot")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// readSnapshot loads the archived results, keeping entries that recorded
+// an allocation count.
+func readSnapshot(path string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []snapshotEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		if e.AllocsPerOp > 0 {
+			out[e.Name] = e.AllocsPerOp
+		}
+	}
+	return out, nil
+}
+
+// parseBench extracts name → allocs/op from benchmark result lines,
+// skipping lines with no allocs/op column.
+func parseBench(sc *bufio.Scanner) (map[string]int64, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	out := make(map[string]int64)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "allocs/op" {
+				continue
+			}
+			allocs, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%q: bad allocs/op %q", line, fields[i])
+			}
+			out[trimProcSuffix(fields[0])] = allocs
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, keeping sub-benchmark paths intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,137 @@
+// Command distlint runs the repo's analyzer suite (see internal/lint)
+// over the module: pooledescape, cowdiscipline, deadlinecheck,
+// faulthook, and lockscope — the five checks that machine-enforce the
+// concurrency and data-path invariants of the hot paths.
+//
+// Usage:
+//
+//	distlint [-v] [packages...]
+//
+// With no arguments every package in the module is checked (testdata
+// and the lint framework itself excluded). Package arguments are import
+// paths relative to the module root, e.g. internal/distributor.
+// Exits non-zero when any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"webcluster/internal/lint/distlint"
+	"webcluster/internal/lint/load"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print every package as it is checked")
+	list := flag.Bool("list", false, "list the analyzers and their docs, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-v] [packages...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := distlint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := load.FindModule(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := load.NewLoader(root, modPath)
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs, err = modulePackages(root)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	total := 0
+	for _, rel := range pkgs {
+		rel = strings.TrimPrefix(rel, "./")
+		importPath := modPath + "/" + filepath.ToSlash(rel)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "distlint: checking %s\n", importPath)
+		}
+		pkg, err := loader.LoadDir(filepath.Join(root, rel), importPath)
+		if err != nil {
+			fatal(err)
+		}
+		findings, err := distlint.Run(pkg, suite)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range findings {
+			rf := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+				rf.Pos.Filename = r
+			}
+			fmt.Println(rf)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "distlint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// modulePackages walks the module for directories containing Go files,
+// skipping testdata, hidden directories, and the lint framework's own
+// fixtures (internal/lint is excluded by scope anyway, but skipping it
+// here avoids type-checking fixture packages that deliberately break
+// invariants).
+func modulePackages(root string) ([]string, error) {
+	var pkgs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(filepath.ToSlash(rel), "internal/lint/") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				pkgs = append(pkgs, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(pkgs)
+	return pkgs, err
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "distlint: %v\n", err)
+	os.Exit(1)
+}

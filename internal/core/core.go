@@ -189,7 +189,13 @@ type Cluster struct {
 	FrontAddr string
 	// ConsoleAddr is the console endpoint ("" when disabled).
 	ConsoleAddr string
+	// GetTimeout bounds each Get round trip (dial plus exchange);
+	// zero means DefaultGetTimeout.
+	GetTimeout time.Duration
 }
+
+// DefaultGetTimeout bounds Cluster.Get when GetTimeout is unset.
+const DefaultGetTimeout = 5 * time.Second
 
 // Launch starts every component and returns the running cluster. On error
 // everything already started is shut down.
@@ -407,11 +413,18 @@ func (c *Cluster) consoleSiteLoader(req mgmt.ConsoleRequest) (string, error) {
 // Get issues one HTTP/1.1 request through the front end — the quickstart
 // helper for demos and tests.
 func (c *Cluster) Get(path string) (*httpx.Response, error) {
-	conn, err := net.Dial("tcp", c.FrontAddr)
+	timeout := c.GetTimeout
+	if timeout <= 0 {
+		timeout = DefaultGetTimeout
+	}
+	conn, err := net.DialTimeout("tcp", c.FrontAddr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("core: dialing front end: %w", err)
 	}
 	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("core: arming deadline: %w", err)
+	}
 	req := &httpx.Request{
 		Method: "GET",
 		Target: path,

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestGetTimesOutOnWedgedFrontEnd: a front end that accepts the
+// connection but never answers must surface as a bounded error from Get,
+// not a hung caller.
+func TestGetTimesOutOnWedgedFrontEnd(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Hold the connection open without reading or writing.
+			go func() {
+				<-done
+				_ = conn.Close()
+			}()
+		}
+	}()
+
+	c := &Cluster{FrontAddr: l.Addr().String(), GetTimeout: 150 * time.Millisecond}
+	start := time.Now()
+	_, err = c.Get("/a.html")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Get against a wedged front end succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Get took %v; deadline did not bound the exchange", elapsed)
+	}
+}

@@ -261,7 +261,13 @@ type Backup struct {
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
+
+	faults *faults.Injector
 }
+
+// SetFaults installs a fault injector consulted around the replication
+// dial (points "backup.dial" and "backup.conn"). Call before Start.
+func (b *Backup) SetFaults(in *faults.Injector) { b.faults = in }
 
 // NewBackup returns a backup that monitors the primary's replication
 // endpoint at replAddr, declares it dead after timeout without traffic,
@@ -283,10 +289,14 @@ func NewBackup(replAddr string, timeout time.Duration, promote PromoteFunc) *Bac
 func (b *Backup) Start() error {
 	// The dial is bounded like the reads: an unresponsive primary at
 	// connect time should not block backup startup indefinitely.
+	if err := b.faults.Fail("backup.dial"); err != nil {
+		return fmt.Errorf("backup: connecting to primary: %w", err)
+	}
 	conn, err := net.DialTimeout("tcp", b.replAddr, b.timeout)
 	if err != nil {
 		return fmt.Errorf("backup: connecting to primary: %w", err)
 	}
+	conn = b.faults.Conn("backup.conn", conn)
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()

@@ -1,0 +1,38 @@
+package distributor
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"webcluster/internal/config"
+	"webcluster/internal/faults"
+	"webcluster/internal/urltable"
+)
+
+// TestBackupStartDialFault: a refuse rule on "backup.dial" must fail
+// Start with the injected error before any connection is attempted, so
+// chaos tests can exercise an unreachable primary at connect time.
+func TestBackupStartDialFault(t *testing.T) {
+	// A live listener proves the failure comes from the injector, not
+	// from the network.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	in := faults.New(1)
+	in.Set("backup.dial", faults.Rule{Refuse: true})
+
+	b := NewBackup(l.Addr().String(), time.Second, func(*urltable.Table, config.ClusterSpec) (*Distributor, error) {
+		return nil, nil
+	})
+	b.SetFaults(in)
+	err = b.Start()
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Start = %v, want ErrInjected", err)
+	}
+	b.Stop()
+}

@@ -1,0 +1,58 @@
+package l4router
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"webcluster/internal/faults"
+	"webcluster/internal/loadbal"
+)
+
+// TestDialFaultCountsAsFailed: with a refuse rule on "l4router.dial",
+// the router must drop the connection and count it as failed instead of
+// reaching the back end.
+func TestDialFaultCountsAsFailed(t *testing.T) {
+	backends := startBackends(t, 1)
+	r, err := New(loadbal.WeightedLeastConn{}, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(1)
+	in.Set("l4router.dial", faults.Rule{Refuse: true})
+	r.SetFaults(in)
+	addr, err := r.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// The router closes the client without proxying; the read observes it.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded through a refused dial")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Failed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Failed() == 0 {
+		t.Fatal("failed counter never incremented")
+	}
+	if r.Routed() != 0 {
+		t.Fatalf("routed = %d, want 0", r.Routed())
+	}
+
+	// Clearing the rule restores service.
+	in.Set("l4router.dial", faults.Rule{})
+	resp := get(t, addr, "/a.html")
+	if resp.StatusCode != 200 {
+		t.Fatalf("after clearing fault: status = %d", resp.StatusCode)
+	}
+}

@@ -14,10 +14,16 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"webcluster/internal/config"
+	"webcluster/internal/faults"
 	"webcluster/internal/loadbal"
 )
+
+// dialTimeout bounds each back-end connect; a dead back end must fail
+// fast so the client can retry, not absorb the accept goroutine.
+const dialTimeout = 5 * time.Second
 
 // Backend is one routable node: identity, static weight, dial address.
 type Backend struct {
@@ -41,6 +47,8 @@ type Router struct {
 
 	routed atomic.Int64
 	failed atomic.Int64
+
+	faults *faults.Injector
 }
 
 // New returns a router over backends using picker (the paper's baseline
@@ -67,6 +75,11 @@ func New(picker loadbal.Picker, backends []Backend) (*Router, error) {
 	}
 	return r, nil
 }
+
+// SetFaults installs a fault injector consulted around each back-end
+// dial (points "l4router.dial" and "l4router.server"). Call before
+// Start. A nil injector disables injection.
+func (r *Router) SetFaults(in *faults.Injector) { r.faults = in }
 
 // Start listens on addr (":0" for ephemeral) and proxies in the
 // background, returning the bound address.
@@ -138,11 +151,16 @@ func (r *Router) proxy(client net.Conn) {
 		r.failed.Add(1)
 		return
 	}
-	server, err := net.Dial("tcp", backend.Addr)
+	if err := r.faults.Fail("l4router.dial"); err != nil {
+		r.failed.Add(1)
+		return
+	}
+	server, err := net.DialTimeout("tcp", backend.Addr, dialTimeout)
 	if err != nil {
 		r.failed.Add(1)
 		return
 	}
+	server = r.faults.Conn("l4router.server", server)
 	defer func() { _ = server.Close() }()
 
 	r.mu.Lock()
@@ -171,6 +189,10 @@ func (r *Router) proxy(client net.Conn) {
 	// reaches EOF, mirroring TCP FIN propagation through a L4 device.
 	done := make(chan struct{}, 2)
 	go func() {
+		// The splice is intentionally deadline-free: an idle but healthy
+		// client may hold its connection open indefinitely, and lifetime
+		// is bounded by Close/CloseWrite propagation from either side.
+		//distlint:ignore deadlinecheck L4 splice lifetime is bounded by peer close, not deadlines
 		_, _ = io.Copy(server, client)
 		if tc, ok := server.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()

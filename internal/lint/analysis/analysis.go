@@ -1,0 +1,75 @@
+// Package analysis is a minimal, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis API surface that distlint's analyzers
+// are written against. The container this repo builds in has no module
+// proxy access, so the real x/tools packages cannot be vendored; this
+// package mirrors the shape of the upstream API (Analyzer, Pass,
+// Diagnostic, Reportf) closely enough that the analyzers port to the
+// upstream framework by changing one import line.
+//
+// Only the subset distlint needs is implemented: no facts, no analyzer
+// dependencies, no SSA. Each analyzer receives one fully type-checked
+// package per Pass and reports position-anchored diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (the suppression key), a
+// doc string explaining the invariant it enforces, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //distlint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is the invariant the analyzer machine-enforces and why it
+	// exists; shown by `distlint -help`.
+	Doc string
+	// Run performs the check on one package and reports findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: a position in the analyzed package and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes a on the package described by (fset, files, pkg, info)
+// and returns its diagnostics.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.diagnostics, nil
+}

@@ -1,0 +1,12 @@
+package cowdiscipline_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/cowdiscipline"
+	"webcluster/internal/lint/linttest"
+)
+
+func TestCOWDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/a", cowdiscipline.Analyzer)
+}

@@ -1,0 +1,102 @@
+// Fixture for the cowdiscipline analyzer: writes through values loaded
+// from atomic.Pointer (flagged), writes through values of distlint:cow
+// marked types (flagged), and the sanctioned clone-then-Store pattern
+// (allowed).
+package fixture
+
+import "sync/atomic"
+
+type node struct {
+	children map[byte]*node
+	value    int
+}
+
+type table struct {
+	root atomic.Pointer[node]
+}
+
+// --- flagged: mutation through the live snapshot ---
+
+func badMutateRoot(t *table, v int) {
+	n := t.root.Load()
+	n.value = v // want `assignment through copy-on-write value "n"`
+}
+
+func badMutateChild(t *table, b byte) {
+	n := t.root.Load()
+	c := n.children[b]
+	c.value = 1 // want `assignment through copy-on-write value "c"`
+}
+
+func badMapInsert(t *table, b byte, c *node) {
+	n := t.root.Load()
+	n.children[b] = c // want `assignment through copy-on-write value "n"`
+}
+
+func badAddrOf(t *table) *int {
+	n := t.root.Load()
+	return &n.value // want `address of copy-on-write value "n" taken`
+}
+
+// --- allowed: the clone-the-spine pattern ---
+
+func goodCloneAndStore(t *table, v int) {
+	cur := t.root.Load()
+	cl := cloneNode(cur)
+	cl.value = v
+	t.root.Store(cl)
+}
+
+// cloneNode copies a node; copies are private until published and may
+// be mutated freely (call results are never tainted).
+func cloneNode(n *node) *node {
+	cp := *n
+	cp.children = make(map[byte]*node, len(n.children))
+	for k, v := range n.children {
+		cp.children[k] = v
+	}
+	return &cp
+}
+
+// readingIsFine: traversal and atomic counters do not mutate.
+func readingIsFine(t *table, b byte) int {
+	n := t.root.Load()
+	if c := n.children[b]; c != nil {
+		return c.value
+	}
+	return 0
+}
+
+// --- marked types ---
+
+// entry is shared after publication.
+//
+// distlint:cow
+type entry struct {
+	hits  int
+	stamp atomic.Int64
+}
+
+func badEntryWrite(e *entry) {
+	e.hits++ // want `assignment through copy-on-write value "e"`
+}
+
+// touch is a method of the marked type itself — the owner manages its
+// own lifecycle (construction happens before publication).
+func (e *entry) touch() {
+	e.hits++
+}
+
+// cloneEntry is a clone helper by name and so a sanctioned mutation
+// site.
+func cloneEntry(e *entry) *entry {
+	cp := &entry{hits: e.hits}
+	cp.hits++
+	return cp
+}
+
+// atomicSetterIsFine: the marked type's atomics absorb concurrent
+// freshness updates; method calls are not assignments.
+func atomicSetterIsFine(e *entry, now int64) {
+	e.stamp.Store(now)
+}

@@ -1,0 +1,12 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/deadlinecheck"
+	"webcluster/internal/lint/linttest"
+)
+
+func TestDeadlineCheck(t *testing.T) {
+	linttest.Run(t, "testdata/a", deadlinecheck.Analyzer)
+}

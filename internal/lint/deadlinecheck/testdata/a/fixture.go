@@ -1,0 +1,136 @@
+// Fixture for the deadlinecheck analyzer: bare dials, unarmed I/O on
+// locally dialed connections and their wrappers, unarmed I/O in
+// connection-backed methods (all flagged); armed I/O, hand-off to an
+// arming owner, and ownership transfer (all allowed).
+package fixture
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// --- rule 1: bare net.Dial ---
+
+func bareDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `bare net.Dial has no connect timeout`
+}
+
+// --- rule 2: locally dialed connections ---
+
+func unarmedRead(addr string, buf []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Read(buf) // want `I/O on connection "conn" before any deadline is armed`
+	return err
+}
+
+func unarmedWrapper(addr string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	return br.ReadString('\n') // want `I/O on connection "conn" before any deadline is armed`
+}
+
+func unarmedHelper(addr string, buf []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return readInto(conn, buf) // want `connection "conn" passed to readInto before any deadline is armed`
+}
+
+// readInto does not arm a deadline, so handing a connection to it does
+// not discharge the obligation.
+func readInto(conn net.Conn, buf []byte) error {
+	_, err := conn.Read(buf)
+	return err
+}
+
+func armedRead(addr string, buf []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err = conn.Read(buf)
+	return err
+}
+
+func armedWrapper(addr string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return "", err
+	}
+	br := bufio.NewReader(conn)
+	return br.ReadString('\n')
+}
+
+// armsParam arms a deadline on its parameter, so it is a sanctioned
+// owner for freshly dialed connections.
+func armsParam(conn net.Conn, buf []byte) error {
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Read(buf)
+	return err
+}
+
+func handoffToArmingOwner(addr string, buf []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return armsParam(conn, buf)
+}
+
+type holder struct {
+	conn net.Conn
+}
+
+// ownershipTransfer stores the dialed connection into a returned
+// struct; the obligation moves to the new owner's methods.
+func ownershipTransfer(addr string) (*holder, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{conn: conn}, nil
+}
+
+// --- rule 3: connection-backed methods ---
+
+func (h *holder) badCall(buf []byte) error {
+	_, err := h.conn.Read(buf) // want `method badCall does I/O on its connection-backed receiver without arming a deadline`
+	return err
+}
+
+func (h *holder) goodCall(buf []byte) error {
+	if err := h.conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := h.conn.Read(buf)
+	return err
+}
+
+// Close needs no deadline.
+func (h *holder) Close() error { return h.conn.Close() }
+
+// Read is a thin delegation wrapper (the type itself acts as a
+// connection); the deadline obligation sits with its callers.
+func (h *holder) Read(p []byte) (int, error) { return h.conn.Read(p) }

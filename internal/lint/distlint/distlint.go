@@ -1,0 +1,221 @@
+// Package distlint assembles the repo's analyzer suite: the five checks
+// that machine-enforce the concurrency and data-path invariants the
+// fast-path PRs introduced (see DESIGN.md §10), the per-package scoping
+// rules, and the one sanctioned suppression form
+//
+//	//distlint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. A
+// suppression without a reason is itself reported, so every silenced
+// finding carries an explanation in the tree.
+package distlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"webcluster/internal/lint/analysis"
+	"webcluster/internal/lint/cowdiscipline"
+	"webcluster/internal/lint/deadlinecheck"
+	"webcluster/internal/lint/faulthook"
+	"webcluster/internal/lint/load"
+	"webcluster/internal/lint/lockscope"
+	"webcluster/internal/lint/pooledescape"
+)
+
+// Finding is one reported (unsuppressed) diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Suite returns the full analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		pooledescape.Analyzer,
+		cowdiscipline.Analyzer,
+		deadlinecheck.Analyzer,
+		faulthook.Analyzer,
+		lockscope.Analyzer,
+	}
+}
+
+// scopes maps analyzer name → the internal packages it applies to. An
+// empty list means every package. deadlinecheck and faulthook are
+// scoped to the layers that own outbound connections: the paper's data
+// plane (distributor/conntrack/backend/nfs/l4router) plus, for
+// deadlines, the management plane and monitor whose wedged calls the
+// chaos suite exercises.
+var scopes = map[string][]string{
+	"deadlinecheck": {
+		"internal/distributor",
+		"internal/mgmt",
+		"internal/monitor",
+		"internal/conntrack",
+		"internal/l4router",
+		"internal/nfs",
+		"internal/core",
+	},
+	"faulthook": {
+		"internal/distributor",
+		"internal/conntrack",
+		"internal/backend",
+		"internal/nfs",
+		"internal/l4router",
+	},
+}
+
+// InScope reports whether the named analyzer applies to pkgPath.
+// Analyzer fixtures and the lint framework itself are never analyzed.
+func InScope(name, pkgPath string) bool {
+	if strings.Contains(pkgPath, "internal/lint") {
+		return false
+	}
+	scope, ok := scopes[name]
+	if !ok {
+		return true
+	}
+	for _, s := range scope {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one parsed //distlint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// collectIgnores parses every distlint:ignore directive in the package.
+// Malformed directives (no analyzer, or no reason) are returned
+// separately as findings so they cannot silently disable a check.
+func collectIgnores(pkg *load.Package) (map[string][]ignoreDirective, []Finding) {
+	ignores := make(map[string][]ignoreDirective)
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "distlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "distlint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //distlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				ignores[pos.Filename] = append(ignores[pos.Filename], ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// suppressed reports whether diag (from analyzer name) is covered by an
+// ignore directive on its line or the line above.
+func suppressed(name string, pos token.Position, ignores map[string][]ignoreDirective) bool {
+	for _, ig := range ignores[pos.Filename] {
+		if ig.analyzer != name && ig.analyzer != "all" {
+			continue
+		}
+		if ig.line == pos.Line || ig.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the given analyzers (respecting scope) over pkg and
+// returns the unsuppressed findings, sorted by position.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ignores, findings := collectIgnores(pkg)
+	for _, a := range analyzers {
+		if !InScope(a.Name, pkg.Path) {
+			continue
+		}
+		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if suppressed(a.Name, pos, ignores) {
+				continue
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos.Filename != findings[j].Pos.Filename {
+			return findings[i].Pos.Filename < findings[j].Pos.Filename
+		}
+		if findings[i].Pos.Line != findings[j].Pos.Line {
+			return findings[i].Pos.Line < findings[j].Pos.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// RunUnscoped executes a single analyzer over pkg ignoring the package
+// scope map, applying only suppression directives. The fixture runner
+// uses it: fixtures live under synthetic import paths that would never
+// match a scope entry, but still need //distlint:ignore honored so the
+// allowed-pattern fixtures can exercise the suppression form.
+func RunUnscoped(pkg *load.Package, a *analysis.Analyzer) ([]Finding, error) {
+	ignores, findings := collectIgnores(pkg)
+	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if suppressed(a.Name, pos, ignores) {
+			continue
+		}
+		findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos.Filename != findings[j].Pos.Filename {
+			return findings[i].Pos.Filename < findings[j].Pos.Filename
+		}
+		return findings[i].Pos.Line < findings[j].Pos.Line
+	})
+	return findings, nil
+}
+
+// FuncFor returns the enclosing named function of pos, for diagnostics.
+func FuncFor(f *ast.File, pos token.Pos) string {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

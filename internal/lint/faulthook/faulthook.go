@@ -1,0 +1,190 @@
+// Package faulthook keeps the chaos harness honest: every outbound dial
+// site in the data plane must be reachable by the deterministic fault
+// injector (internal/faults), or chaos coverage silently rots as new
+// I/O paths appear. A function that dials must consult an
+// *faults.Injector — Fail before the dial, or Conn to wrap the result —
+// somewhere in its body.
+//
+// The one sanctioned exception is a function literal passed as a
+// conntrack Dialer: the pool injects faults at its own boundary
+// (pool.dial/pool.conn hooks around every dial it makes), so the raw
+// dialer closure stays fault-free by design.
+package faulthook
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webcluster/internal/lint/analysis"
+	"webcluster/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faulthook",
+	Doc: "check that data-plane dial sites consult the internal/faults " +
+		"injector so chaos tests can reach them",
+	Run: run,
+}
+
+var dialNames = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialContext": true, "DialTCP": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// check analyzes one declared function: each dial site must share a
+// body with an injector call, where "body" means the innermost
+// enclosing function (literal or declaration).
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	dialerLits := collectDialerLits(pass, body)
+	dials := dialSites(pass, body, body, dialerLits)
+	if len(dials) == 0 {
+		return
+	}
+	for _, d := range dials {
+		if !callsInjector(pass, d.scope) {
+			pass.Reportf(d.call.Pos(), "dial site bypasses internal/faults; consult the injector (Fail before the dial or Conn on the result) so chaos tests can exercise this path")
+		}
+	}
+}
+
+// collectDialerLits finds function literals used where a named Dialer
+// type is expected: passed to a parameter of that type, converted to
+// it, or assigned to a variable of it.
+func collectDialerLits(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			// Conversion: conntrack.Dialer(func(...) ...).
+			if tv, ok := pass.TypesInfo.Types[v.Fun]; ok && tv.IsType() && isDialerType(tv.Type) {
+				for _, arg := range v.Args {
+					if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						out[fl] = true
+					}
+				}
+				return true
+			}
+			// Call: NewPool(func(...) ..., ...) where the parameter is a
+			// named Dialer.
+			sig, ok := lintutil.TypeOf(pass.TypesInfo, v.Fun).(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range v.Args {
+				fl, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				pi := i
+				if sig.Variadic() && pi >= sig.Params().Len() {
+					pi = sig.Params().Len() - 1
+				}
+				if pi < sig.Params().Len() && isDialerType(sig.Params().At(pi).Type()) {
+					out[fl] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				fl, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok || i >= len(v.Lhs) {
+					continue
+				}
+				if t := lintutil.TypeOf(pass.TypesInfo, v.Lhs[i]); t != nil && isDialerType(t) {
+					out[fl] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type dialSite struct {
+	call *ast.CallExpr
+	// scope is the innermost function body containing the dial; the
+	// injector consult must happen within it.
+	scope ast.Node
+}
+
+// dialSites finds net dial calls under n, tracking the innermost
+// function scope and skipping literals that serve as conntrack dialers.
+func dialSites(pass *analysis.Pass, n ast.Node, scope ast.Node, dialerLits map[*ast.FuncLit]bool) []dialSite {
+	var out []dialSite
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			if v != n {
+				if !dialerLits[v] {
+					out = append(out, dialSites(pass, v.Body, v.Body, dialerLits)...)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if isNetDial(pass, v) {
+				out = append(out, dialSite{call: v, scope: scope})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isNetDial(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !dialNames[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := lintutil.ObjectOf(pass.TypesInfo, id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "net"
+}
+
+func isDialerType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Dialer"
+}
+
+// callsInjector reports whether scope contains a method call on an
+// *faults.Injector value (Fail, Conn, Listener, ...), not counting
+// nested function literals (their dials are checked separately, and an
+// injector consult inside a callback does not guard this dial).
+func callsInjector(pass *analysis.Pass, scope ast.Node) bool {
+	found := false
+	ast.Inspect(scope, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := x.(*ast.FuncLit); ok && fl != scope {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := lintutil.Receiver(call)
+		if recv == nil {
+			return true
+		}
+		t := lintutil.TypeOf(pass.TypesInfo, recv)
+		if t != nil && lintutil.IsNamed(t, "webcluster/internal/faults", "Injector") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

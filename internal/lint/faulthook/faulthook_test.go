@@ -1,0 +1,12 @@
+package faulthook_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/faulthook"
+	"webcluster/internal/lint/linttest"
+)
+
+func TestFaultHook(t *testing.T) {
+	linttest.Run(t, "testdata/a", faulthook.Analyzer)
+}

@@ -1,0 +1,201 @@
+// Package load parses and type-checks packages for distlint without any
+// dependency outside the standard library. Standard-library imports are
+// type-checked from GOROOT source via go/importer's source importer;
+// module-local imports (webcluster/...) are resolved against the module
+// root and loaded recursively. Everything is cached per Loader, so a
+// whole-tree lint run pays the standard-library cost once.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory the source files came from.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed syntax trees, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages with a shared FileSet and package cache.
+// Construct with NewLoader.
+type Loader struct {
+	fset       *token.FileSet
+	std        types.ImporterFrom
+	modulePath string
+	moduleRoot string
+	pkgs       map[string]*Package
+	stdCache   map[string]*types.Package
+	// IncludeTests adds *_test.go files that belong to the package under
+	// its own name (external _test packages are never loaded).
+	IncludeTests bool
+}
+
+// NewLoader returns a loader for the module rooted at moduleRoot with
+// the given module path (the first line of go.mod).
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		modulePath: modulePath,
+		moduleRoot: moduleRoot,
+		pkgs:       make(map[string]*Package),
+		stdCache:   make(map[string]*types.Package),
+	}
+}
+
+// NewLoaderAt walks up from dir to the enclosing go.mod and returns a
+// loader for that module. Tests use it so fixtures can import module
+// packages regardless of the working directory go test chose.
+func NewLoaderAt(dir string) (*Loader, error) {
+	root, path, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root, path), nil
+}
+
+// FindModule walks up from dir to the nearest go.mod, returning the
+// module root directory and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load from
+// the module tree, everything else from GOROOT source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		p, err := l.LoadDir(filepath.Join(l.moduleRoot, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if p, ok := l.stdCache[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, fmt.Errorf("load: importing %q: %w", path, err)
+	}
+	l.stdCache[path] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the package in dir under importPath.
+// Results are cached by import path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		// External test packages (package foo_test) type-check against
+		// the package under test, which a single-pass loader cannot do;
+		// they carry no production invariants, so skip them.
+		if strings.HasSuffix(f.Name.Name, "_test") && pkgName != "" && f.Name.Name != pkgName {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			continue
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", importPath, err)
+	}
+	p := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}

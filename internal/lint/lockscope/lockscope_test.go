@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/linttest"
+	"webcluster/internal/lint/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, "testdata/a", lockscope.Analyzer)
+}

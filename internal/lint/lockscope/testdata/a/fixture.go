@@ -1,0 +1,119 @@
+// Fixture for the lockscope analyzer: blocking calls under a held
+// mutex (network I/O, dials, waits, unbuffered sends — flagged) and the
+// sanctioned shapes (Cond.Wait, select with default, buffered sends,
+// unlock-before-blocking, branch-local unlock).
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	conn net.Conn
+	cond *sync.Cond
+	addr string
+}
+
+func (s *shard) target() string { return s.addr }
+
+// --- flagged ---
+
+func (s *shard) badRead(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.conn.Read(buf) // want `network I/O \(Read\) while s.mu is held`
+}
+
+func (s *shard) badDial() {
+	s.mu.Lock()
+	_, _ = net.DialTimeout("tcp", s.addr, time.Second) // want `dial while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *shard) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `blocking Wait while s.mu is held`
+}
+
+func (s *shard) badUnbufferedSend() {
+	ch := make(chan int)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1 // want `send on unbuffered channel "ch" while s.mu is held`
+}
+
+// --- allowed ---
+
+// goodCondWait: sync.Cond.Wait releases the lock while parked.
+func (s *shard) goodCondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.conn == nil {
+		s.cond.Wait()
+	}
+}
+
+// goodUnlockFirst is the conntrack Acquire shape: copy what you need
+// under the lock, release it, then do the slow thing.
+func (s *shard) goodUnlockFirst() {
+	s.mu.Lock()
+	addr := s.target()
+	s.mu.Unlock()
+	_, _ = net.DialTimeout("tcp", addr, time.Second)
+}
+
+func (s *shard) goodBufferedSend() {
+	ch := make(chan int, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1
+}
+
+// goodSelectDefault: a select with a default clause cannot park.
+func (s *shard) goodSelectDefault(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// goodBranchUnlock: an early-unlock-and-return branch must not bleed an
+// unlocked state into the fall-through path — and the fall-through
+// unlock before the dial is honored.
+func (s *shard) goodBranchUnlock() {
+	s.mu.Lock()
+	if s.conn == nil {
+		s.mu.Unlock()
+		return
+	}
+	addr := s.target()
+	s.mu.Unlock()
+	_, _ = net.DialTimeout("tcp", addr, time.Second)
+}
+
+// goodGoroutine: a goroutine body is not part of the creator's critical
+// section.
+func (s *shard) goodGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_, _ = net.DialTimeout("tcp", "localhost:0", time.Second)
+	}()
+}
+
+// stillHeldAfterBranch: the then-branch returns while the else path
+// keeps the lock; the dial after the join is flagged.
+func (s *shard) stillHeldAfterBranch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return
+	}
+	_, _ = net.DialTimeout("tcp", s.addr, time.Second) // want `dial while s.mu is held`
+}

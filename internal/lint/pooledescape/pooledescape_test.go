@@ -1,0 +1,12 @@
+package pooledescape_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/linttest"
+	"webcluster/internal/lint/pooledescape"
+)
+
+func TestPooledEscape(t *testing.T) {
+	linttest.Run(t, "testdata/a", pooledescape.Analyzer)
+}

@@ -1,0 +1,127 @@
+// Fixture for the pooledescape analyzer: flagged patterns (leaks on a
+// return path, double release, use after release, stores into
+// long-lived structs, goroutine capture) and allowed patterns (deferred
+// release, ownership transfer by return, release on every branch).
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var errTest = errors.New("test")
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func work() error { return nil }
+
+func use(p *[]byte) {}
+
+// --- flagged ---
+
+func leakOnErrorPath(fail bool) error {
+	buf := bufPool.Get().(*[]byte)
+	if fail {
+		return errTest // want `pooled value "buf" is not released on this return path`
+	}
+	bufPool.Put(buf)
+	return nil
+}
+
+func doubleRelease() {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	bufPool.Put(buf) // want `pooled value "buf" released twice`
+}
+
+func releaseAfterDefer() {
+	buf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(buf)
+	bufPool.Put(buf) // want `pooled value "buf" released twice \(already released by defer\)`
+}
+
+func useAfterRelease() int {
+	buf := bufPool.Get().(*[]byte)
+	bufPool.Put(buf)
+	return len(*buf) // want `use of pooled value "buf" after release`
+}
+
+type holder struct{ buf *[]byte }
+
+func (h *holder) stash() {
+	buf := bufPool.Get().(*[]byte)
+	h.buf = buf // want `pooled value "buf" stored into a struct that outlives the call`
+}
+
+func goroutineCapture() {
+	buf := bufPool.Get().(*[]byte)
+	go use(buf) // want `pooled value "buf" captured by goroutine outlives the call`
+}
+
+func leakOnOnePath(ok bool) {
+	buf := bufPool.Get().(*[]byte)
+	if ok {
+		bufPool.Put(buf)
+	}
+} // want `pooled value "buf" is not released on this return path`
+
+// --- allowed ---
+
+func deferredRelease(fail bool) error {
+	buf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(buf)
+	if fail {
+		return errTest
+	}
+	use(buf)
+	return nil
+}
+
+func closureDeferredRelease() {
+	buf := bufPool.Get().(*[]byte)
+	defer func() {
+		bufPool.Put(buf)
+	}()
+	use(buf)
+}
+
+func releasedOnEveryBranch(ok bool) {
+	buf := bufPool.Get().(*[]byte)
+	if ok {
+		use(buf)
+		bufPool.Put(buf)
+		return
+	}
+	bufPool.Put(buf)
+}
+
+// ownershipTransfer hands the pooled value to the caller — the
+// conntrack pattern, where the PooledConn owns the reader until
+// Release.
+func ownershipTransfer() *[]byte {
+	buf := bufPool.Get().(*[]byte)
+	return buf
+}
+
+type frame struct{ buf *[]byte }
+
+// localStructTransfer builds the pooled value into a returned struct:
+// the struct is the new owner.
+func localStructTransfer() *frame {
+	buf := bufPool.Get().(*[]byte)
+	f := &frame{}
+	f.buf = buf
+	return f
+}
+
+// suppressedLeak demonstrates the one sanctioned suppression form; the
+// directive must name the analyzer and give a reason.
+func suppressedLeak(fail bool) error {
+	buf := bufPool.Get().(*[]byte)
+	if fail {
+		//distlint:ignore pooledescape fixture demonstrating an explained suppression
+		return errTest
+	}
+	bufPool.Put(buf)
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"webcluster/internal/config"
 	"webcluster/internal/content"
@@ -298,31 +299,52 @@ func (s *ConsoleServer) Close() error {
 	return err
 }
 
+// DefaultConsoleTimeout bounds console dials and round trips until
+// overridden with SetTimeout.
+const DefaultConsoleTimeout = 5 * time.Second
+
 // Console is the remote-console client. Construct with DialConsole.
 type Console struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	timeout time.Duration
 }
 
 // DialConsole connects to a console server at addr.
 func DialConsole(addr string) (*Console, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, DefaultConsoleTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("console: dialing %s: %w", addr, err)
 	}
 	return &Console{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		dec:     json.NewDecoder(conn),
+		timeout: DefaultConsoleTimeout,
 	}, nil
+}
+
+// SetTimeout changes the per-command deadline (ignored if d <= 0).
+func (c *Console) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.timeout = d
+	}
 }
 
 // Do performs one console command.
 func (c *Console) Do(req ConsoleRequest) (ConsoleResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A wedged or partitioned console server must surface as a timeout,
+	// not a hung administrative client.
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return ConsoleResponse{}, fmt.Errorf("console: arming deadline: %w", err)
+	}
+	defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
 	if err := encode(c.enc, req); err != nil {
 		return ConsoleResponse{}, err
 	}

@@ -1,0 +1,49 @@
+package mgmt
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestConsoleDoTimesOutOnSilentServer: a console server that accepts the
+// connection but never replies must fail the command within the
+// configured deadline instead of wedging the administrative client.
+func TestConsoleDoTimesOutOnSilentServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-done
+				_ = conn.Close()
+			}()
+		}
+	}()
+
+	console, err := DialConsole(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = console.Close() }()
+	console.SetTimeout(100 * time.Millisecond)
+
+	start := time.Now()
+	_, err = console.Do(ConsoleRequest{Op: "tree"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Do against a silent console server succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Do took %v; deadline did not bound the exchange", elapsed)
+	}
+}

@@ -57,6 +57,10 @@ const entryOverhead = 256
 // immutable after construction; freshness fields are atomics so a
 // revalidation can extend an entry's life while other goroutines serve
 // from it.
+//
+// distlint:cow — entries are shared snapshots once published; the
+// cowdiscipline analyzer rejects field assignments through them
+// (freshness updates go through the atomic setters).
 type Entry struct {
 	Stored httpx.Stored
 	// storedAt is the unix-nano time the response was stored or last
