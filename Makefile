@@ -7,6 +7,11 @@ BENCH_HOT = BenchmarkDistributorRelay$$|BenchmarkDistributorRelayLarge|Benchmark
 # cold miss, and coalesced miss through the live distributor.
 BENCH_CACHE = BenchmarkDistributorCacheHit|BenchmarkDistributorCacheColdMiss|BenchmarkDistributorCacheCoalescedMiss
 
+# Telemetry benchmarks (BENCH_telemetry.json): the lock-free metrics core
+# and the fully-traced relay, which must add 0 allocs/op over the
+# untraced relay.
+BENCH_TELEMETRY = BenchmarkTelemetryObserve|BenchmarkDistributorRelayTraced
+
 .PHONY: all vet lint build test race chaos bench allocguard ci
 
 all: ci
@@ -56,6 +61,9 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_CACHE)' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_cache.json
 	@cat BENCH_cache.json
+	$(GO) test -run '^$$' -bench '$(BENCH_TELEMETRY)' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
+	@cat BENCH_telemetry.json
 
 # Allocation regression gate: a fast -benchtime=100x pass is enough,
 # because allocs/op is deterministic; benchguard fails when the relay
@@ -63,5 +71,7 @@ bench:
 allocguard:
 	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelay$$' -benchtime=100x -benchmem . \
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_relay.json
+	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelayTraced$$' -benchtime=100x -benchmem . \
+		| $(GO) run ./cmd/benchguard -snapshot BENCH_telemetry.json
 
 ci: vet lint build test race allocguard

@@ -32,6 +32,7 @@ import (
 	"webcluster/internal/loadbal"
 	"webcluster/internal/respcache"
 	"webcluster/internal/sim"
+	"webcluster/internal/telemetry"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
 )
@@ -317,6 +318,62 @@ func BenchmarkDistributorRelay(b *testing.B) {
 			b.Fatalf("resp %v %v", resp, err)
 		}
 	}
+}
+
+// BenchmarkDistributorRelayTraced is BenchmarkDistributorRelay with the
+// full telemetry plane active: a pooled span per request across both
+// tiers (distributor phase timings + backend service span, joined over
+// the X-Dist-Trace/X-Dist-Span wire fields), atomic histogram and counter
+// updates, and the span ring capture. Acceptance: tracing adds 0
+// allocs/op over the untraced relay (benchguard-gated).
+func BenchmarkDistributorRelayTraced(b *testing.B) {
+	front, cleanup := liveCluster(b, func(o *distributor.Options) {
+		o.Telemetry = telemetry.New(telemetry.Options{Node: "bench-front"})
+	})
+	defer cleanup()
+	conn, err := net.Dial("tcp", front)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	req := &httpx.Request{
+		Method: "GET", Target: "/bench.html", Path: "/bench.html",
+		Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "c"),
+		TraceID: 0xb19b00553a9e77ed,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := httpx.WriteRequest(conn, req); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := httpx.ReadResponse(br)
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatalf("resp %v %v", resp, err)
+		}
+		if resp.TraceID != req.TraceID {
+			b.Fatalf("trace not propagated: %x", resp.TraceID)
+		}
+	}
+}
+
+// BenchmarkTelemetryObserve measures one lock-free histogram observation
+// plus the class counters — the per-request metrics cost on the relay
+// path. Must stay allocation-free and contention-tolerant.
+func BenchmarkTelemetryObserve(b *testing.B) {
+	reg := telemetry.NewRegistry("bench")
+	cs := reg.Class("html")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var ns int64
+		for pb.Next() {
+			ns += 1000
+			cs.Requests.Inc()
+			cs.Bytes.Add(4096)
+			cs.Latency.ObserveNs(ns & 0xfffff)
+		}
+	})
 }
 
 // BenchmarkDistributorRelayLarge measures the streaming fast path on large

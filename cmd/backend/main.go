@@ -19,6 +19,7 @@ import (
 	"webcluster/internal/httpx"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/nfs"
+	"webcluster/internal/telemetry"
 )
 
 func main() {
@@ -32,14 +33,15 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:0", "broker listen address")
 	nfsAddr := flag.String("nfs", "", "shared file server address (configuration 2)")
 	docroot := flag.String("docroot", "", "serve content from this directory instead of memory")
+	adminAddr := flag.String("admin", "", "serve /metrics, /debug/traces, /debug/vars, /healthz on this address; empty = off")
 	flag.Parse()
-	if err := run(*id, *cpu, *mem, *diskGB, *disk, *platform, *listen, *brokerAddr, *nfsAddr, *docroot); err != nil {
+	if err := run(*id, *cpu, *mem, *diskGB, *disk, *platform, *listen, *brokerAddr, *nfsAddr, *docroot, *adminAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "backend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nfsAddr, docroot string) error {
+func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nfsAddr, docroot, adminAddr string) error {
 	spec := config.NodeSpec{
 		ID:       config.NodeID(id),
 		CPUMHz:   cpu,
@@ -96,6 +98,16 @@ func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nf
 		return err
 	}
 	defer func() { _ = broker.Close() }()
+
+	if adminAddr != "" {
+		admin := telemetry.NewAdmin(srv.Telemetry())
+		aAddr, aerr := admin.Start(adminAddr)
+		if aerr != nil {
+			return aerr
+		}
+		defer func() { _ = admin.Close() }()
+		fmt.Printf("admin at http://%s/metrics\n", aAddr)
+	}
 
 	fmt.Printf("node %s up: web %s broker %s (%d MHz, %d MB, %s, %s)\n",
 		id, webAddr, bAddr, cpu, mem, spec.Disk, spec.Platform)

@@ -16,6 +16,8 @@
 //	console -addr host:7070 balance
 //	console -addr host:7070 purge /docs/b.html    # or: purge '*'
 //	console -addr host:7070 cache-stats
+//	console -addr host:7070 stats                 # cluster-wide per-class latency/throughput
+//	console -addr host:7070 traces -limit 10      # slowest recent requests across all nodes
 //	console -addr host:7070 audit
 package main
 
@@ -24,9 +26,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"webcluster/internal/config"
 	"webcluster/internal/mgmt"
+	"webcluster/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +59,7 @@ func run(addr string, args []string) error {
 	seed := sub.Int64("seed", 1, "loadsite: seed")
 	wl := sub.String("workload", "A", "loadsite: workload A|B")
 	policy := sub.String("policy", "type", "loadsite: placement policy type|all|rr")
+	limit := sub.Int("limit", 0, "traces: max spans to show (0 = server default)")
 
 	// Split positionals (up to the first -flag) from the flag tail.
 	rest := args[1:]
@@ -81,7 +86,9 @@ func run(addr string, args []string) error {
 
 	req := mgmt.ConsoleRequest{Op: args[0]}
 	switch args[0] {
-	case "tree", "nodes", "audit", "balance", "cache-stats":
+	case "tree", "nodes", "audit", "balance", "cache-stats", "stats":
+	case "traces":
+		req.Limit = *limit
 	case "purge":
 		if len(pos) < 1 {
 			return fmt.Errorf("purge needs a path (or *)")
@@ -157,6 +164,10 @@ func run(addr string, args []string) error {
 		printed = true
 	}
 	switch {
+	case resp.Stats != nil:
+		printStats(resp.Stats)
+	case resp.Traces != nil:
+		printTraces(resp.Traces)
 	case resp.Cache != nil:
 		cs := resp.Cache
 		fmt.Printf("entries=%d bytes=%d/%d\n", cs.Entries, cs.Bytes, cs.MaxBytes)
@@ -172,6 +183,9 @@ func run(addr string, args []string) error {
 		fmt.Printf("node %s: active=%d served=%d store=%d objs / %d bytes cacheHit=%.1f%%\n",
 			st.Node, st.ActiveRequests, st.RequestsServed,
 			st.StoreObjects, st.StoreBytes, 100*st.CacheHitRate)
+		if st.LatencyP50Ns > 0 || st.LatencyP99Ns > 0 {
+			fmt.Printf("latency p50=%s p99=%s\n", fmtNs(st.LatencyP50Ns), fmtNs(st.LatencyP99Ns))
+		}
 	case len(resp.Audit) > 0:
 		for _, line := range resp.Audit {
 			fmt.Println(line)
@@ -190,4 +204,58 @@ func run(addr string, args []string) error {
 		}
 	}
 	return nil
+}
+
+// fmtNs renders a nanosecond figure as a human duration.
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+// printStats renders the cluster-wide single-system-image view: per-class
+// request and latency figures merged across every node's histograms.
+func printStats(st *telemetry.ClusterStats) {
+	fmt.Printf("sources: %s\n", strings.Join(st.Sources, ", "))
+	if len(st.Classes) == 0 {
+		fmt.Println("no traffic recorded")
+		return
+	}
+	fmt.Printf("%-10s %9s %6s %9s %9s %9s %9s %9s %9s\n",
+		"CLASS", "REQS", "ERR", "RATE/S", "MEAN", "P50", "P90", "P99", "MAX")
+	for _, c := range st.Classes {
+		fmt.Printf("%-10s %9d %6d %9.1f %9s %9s %9s %9s %9s\n",
+			c.Class, c.Requests, c.Errors, c.RatePerSec,
+			fmtNs(c.MeanNs), fmtNs(c.P50Ns), fmtNs(c.P90Ns), fmtNs(c.P99Ns), fmtNs(c.MaxNs))
+	}
+}
+
+// printTraces renders the slowest recent spans across all nodes.
+func printTraces(spans []telemetry.Span) {
+	if len(spans) == 0 {
+		fmt.Println("no traces recorded")
+		return
+	}
+	for _, sp := range spans {
+		fmt.Printf("%9s  trace=%016x node=%-12s %-4s %-32s status=%d",
+			fmtNs(sp.TotalNs), sp.TraceID, sp.Node, sp.Method, sp.Path, sp.Status)
+		if sp.Cache != "" {
+			fmt.Printf(" cache=%s", sp.Cache)
+		}
+		if sp.Backend != "" {
+			fmt.Printf(" backend=%s", sp.Backend)
+		}
+		if sp.Outcome != "" {
+			fmt.Printf(" outcome=%s", sp.Outcome)
+		}
+		fmt.Printf("\n           phases: parse=%s route=%s cache=%s backend=%s reply=%s\n",
+			fmtNs(sp.ParseNs), fmtNs(sp.RouteNs), fmtNs(sp.CacheNs),
+			fmtNs(sp.BackendNs), fmtNs(sp.ReplyNs))
+	}
 }

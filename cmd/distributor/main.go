@@ -27,6 +27,7 @@ import (
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/respcache"
+	"webcluster/internal/telemetry"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
 )
@@ -45,6 +46,8 @@ func main() {
 	tableFile := flag.String("table", "", "URL-table checkpoint: loaded at start if present, saved on shutdown")
 	accessLog := flag.String("accesslog", "", "append Common Log Format access log to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty = off")
+	adminAddr := flag.String("admin", "", "serve /metrics, /debug/traces, /debug/vars, /healthz on this address; empty = off")
+	slowMs := flag.Duration("slow", 0, "log requests slower than this to stderr (0 = off)")
 	flag.Parse()
 	if *pprofAddr != "" {
 		go func() {
@@ -57,7 +60,8 @@ func main() {
 		fmt.Printf("pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	cacheOpts := cacheConfig{mb: *cacheMB, fresh: *cacheFresh, stale: *cacheStale}
-	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery, cacheOpts); err != nil {
+	telCfg := telConfig{admin: *adminAddr, slow: *slowMs}
+	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery, cacheOpts, telCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "distributor:", err)
 		os.Exit(1)
 	}
@@ -69,7 +73,13 @@ type cacheConfig struct {
 	fresh, stale time.Duration
 }
 
-func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork int, balanceEvery time.Duration, cacheCfg cacheConfig) error {
+// telConfig carries the observability flags.
+type telConfig struct {
+	admin string
+	slow  time.Duration
+}
+
+func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork int, balanceEvery time.Duration, cacheCfg cacheConfig, telCfg telConfig) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -105,10 +115,17 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 		defer func() { _ = f.Close() }()
 		fmt.Printf("access log → %s\n", accessLog)
 	}
+	telOpts := telemetry.Options{Node: "distributor"}
+	if telCfg.slow > 0 {
+		telOpts.SlowThreshold = telCfg.slow
+		telOpts.SlowLog = os.Stderr
+	}
+	tel := telemetry.New(telOpts)
 	distOpts := distributor.Options{
 		Table:          table,
 		Cluster:        spec,
 		PreforkPerNode: prefork,
+		Telemetry:      tel,
 	}
 	if logWriter != nil {
 		distOpts.AccessLog = logWriter
@@ -136,6 +153,7 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 	fmt.Printf("distributor serving at %s over %d nodes\n", front, len(spec.Nodes))
 
 	controller := mgmt.NewController(table)
+	controller.SetTelemetry(tel)
 	if respCache != nil {
 		// management mutations purge the front-end cache synchronously
 		controller.SetCache(respCache)
@@ -166,6 +184,16 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 		}
 		defer func() { _ = console.Close() }()
 		fmt.Printf("console at %s\n", caddr)
+	}
+
+	if telCfg.admin != "" {
+		admin := telemetry.NewAdmin(tel)
+		aaddr, aerr := admin.Start(telCfg.admin)
+		if aerr != nil {
+			return aerr
+		}
+		defer func() { _ = admin.Close() }()
+		fmt.Printf("admin at http://%s/metrics\n", aaddr)
 	}
 
 	if replAddr != "" {

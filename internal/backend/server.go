@@ -15,6 +15,7 @@ import (
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/metrics"
+	"webcluster/internal/telemetry"
 )
 
 // DynamicHandler produces the response body for a dynamic request. The
@@ -50,6 +51,10 @@ type ServerOptions struct {
 	// (points "backend.accept/<id>" for refusal and "backend.conn/<id>"
 	// for per-connection stream faults). Tests only.
 	Faults *faults.Injector
+	// Telemetry overrides the node's telemetry layer (admin listeners
+	// share it with the broker). Nil builds a default one — per-class
+	// stats and service spans are always live on a back end.
+	Telemetry *telemetry.Telemetry
 }
 
 // Server is one back-end web-server node. Construct with NewServer.
@@ -65,7 +70,8 @@ type Server struct {
 	prefixes []prefixHandler           // checked in registration order
 	conns    map[net.Conn]struct{}
 
-	stats metrics.Registry
+	tel   *telemetry.Telemetry
+	stats *telemetry.Registry
 
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -95,12 +101,18 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if cacheBytes == 0 {
 		cacheBytes = int64(opts.Spec.MemoryMB) * 1024 * 1024 * 6 / 10
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.New(telemetry.Options{Node: string(opts.Spec.ID)})
+	}
 	return &Server{
 		spec:      opts.Spec,
 		store:     opts.Store,
 		pageCache: cache.NewLRU(cacheBytes),
 		delay:     opts.Delay,
 		faults:    opts.Faults,
+		tel:       tel,
+		stats:     tel.Registry(),
 		handlers:  make(map[string]DynamicHandler),
 		conns:     make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
@@ -125,7 +137,11 @@ func (s *Server) PageCacheStats() cache.Stats { return s.pageCache.Stats() }
 func (s *Server) InvalidateCache(path string) { s.pageCache.Remove(path) }
 
 // Stats exposes per-class request statistics.
-func (s *Server) Stats() *metrics.Registry { return &s.stats }
+func (s *Server) Stats() *telemetry.Registry { return s.stats }
+
+// Telemetry exposes the node's telemetry layer (the broker serves it to
+// the controller's single-system-image scrapes).
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // ActiveRequests returns in-flight requests minus completions — the
 // instantaneous connection count load metrics use.
@@ -348,12 +364,34 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		// A traced request (in-band X-Dist-Trace) gets a service span in
+		// this node's ring; the response echoes the trace ID plus this
+		// span's ID so the distributor can stitch the two together.
+		var sp *telemetry.Span
+		if req.TraceID != 0 {
+			sp = s.tel.StartSpan(req.TraceID)
+			sp.SetRequest(req.Method, req.Path)
+		}
 		resp := s.Handle(req)
+		if sp != nil {
+			sp.MarkBackend()
+			sp.SetClass(content.Classify(req.Path).String())
+			sp.SetStatus(resp.StatusCode)
+			sp.SetBytes(int64(len(resp.Body)))
+			sp.SetOutcome("served")
+			resp.TraceID = sp.TraceID
+			resp.SpanID = sp.SpanID
+		}
 		keep := req.KeepAlive()
 		if !keep {
 			resp.Header.Set("Connection", "close")
 		}
-		if err := httpx.WriteResponse(conn, resp); err != nil {
+		werr := httpx.WriteResponse(conn, resp)
+		if sp != nil {
+			sp.MarkReply()
+			s.tel.FinishSpan(sp)
+		}
+		if werr != nil {
 			return
 		}
 		if !keep {

@@ -25,6 +25,7 @@ import (
 	"webcluster/internal/mgmt"
 	"webcluster/internal/monitor"
 	"webcluster/internal/respcache"
+	"webcluster/internal/telemetry"
 	"webcluster/internal/urltable"
 	"webcluster/internal/workload"
 )
@@ -159,6 +160,10 @@ type Options struct {
 	// (TTLs, shard count, clock). MaxBytes inside it is overridden by
 	// CacheBytes. Ignored when CacheBytes <= 0.
 	CacheOptions respcache.Options
+	// TelemetryOptions tunes the distributor's telemetry layer (ring
+	// size, slow-request log). Node defaults to "distributor". Telemetry
+	// itself is always on — it is the observability plane of the system.
+	TelemetryOptions telemetry.Options
 }
 
 // DefaultSpec returns a 3-node heterogeneous development cluster.
@@ -185,6 +190,9 @@ type Cluster struct {
 	Monitor     *monitor.Watcher
 	// Cache is the distributor-side response cache, nil when disabled.
 	Cache *respcache.Cache
+	// Telemetry is the distributor's observability layer (span ring,
+	// metrics registry); the controller scrapes it for cluster stats.
+	Telemetry *telemetry.Telemetry
 	// FrontAddr is the distributor's client-facing address.
 	FrontAddr string
 	// ConsoleAddr is the console endpoint ("" when disabled).
@@ -279,6 +287,12 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		// content/placement mutation — the coherence half of the design
 		c.Controller.SetCache(c.Cache)
 	}
+	telOpts := opts.TelemetryOptions
+	if telOpts.Node == "" {
+		telOpts.Node = "distributor"
+	}
+	c.Telemetry = telemetry.New(telOpts)
+	c.Controller.SetTelemetry(c.Telemetry)
 	dist, derr := distributor.New(distributor.Options{
 		Table:          c.Table,
 		Cluster:        spec,
@@ -286,6 +300,7 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		PreforkPerNode: opts.PreforkPerNode,
 		Faults:         opts.Faults,
 		Cache:          c.Cache,
+		Telemetry:      c.Telemetry,
 	})
 	if derr != nil {
 		return nil, fmt.Errorf("core: %w", derr)

@@ -23,10 +23,31 @@ import (
 	"webcluster/internal/content"
 	"webcluster/internal/httpx"
 	"webcluster/internal/respcache"
+	"webcluster/internal/telemetry"
 )
 
 // Cache returns the distributor's response cache, nil when disabled.
 func (d *Distributor) Cache() *respcache.Cache { return d.cache }
+
+// registerCacheMetrics exposes the response cache's counters through the
+// telemetry registry so /metrics, /debug/vars and the cluster stats plane
+// include cache behaviour (hit/miss/stale/coalesce rates, residency).
+func registerCacheMetrics(reg *telemetry.Registry, cache *respcache.Cache) {
+	views := map[string]func(respcache.Stats) float64{
+		"respcache_hits":         func(s respcache.Stats) float64 { return float64(s.Hits) },
+		"respcache_misses":       func(s respcache.Stats) float64 { return float64(s.Misses) },
+		"respcache_revalidated":  func(s respcache.Stats) float64 { return float64(s.Revalidated) },
+		"respcache_stale_served": func(s respcache.Stats) float64 { return float64(s.StaleServed) },
+		"respcache_coalesced":    func(s respcache.Stats) float64 { return float64(s.Coalesced) },
+		"respcache_evictions":    func(s respcache.Stats) float64 { return float64(s.Evictions) },
+		"respcache_entries":      func(s respcache.Stats) float64 { return float64(s.Entries) },
+		"respcache_bytes":        func(s respcache.Stats) float64 { return float64(s.Bytes) },
+	}
+	for name, view := range views {
+		view := view
+		reg.GaugeFunc(name, func() float64 { return view(cache.Stats()) })
+	}
+}
 
 // cacheEligible reports whether the request may be answered from the
 // response cache: safe method, static content, no query string.
@@ -41,24 +62,25 @@ func cacheEligible(req *httpx.Request) bool {
 // whether a response (or terminal failure) was written to the client;
 // when false the caller falls through to the normal relay path. connOK
 // mirrors relayRequest's contract.
-func (d *Distributor) serveFromCache(client net.Conn, key conntrack.ClientKey, req *httpx.Request) (handled, connOK bool) {
+func (d *Distributor) serveFromCache(client net.Conn, key conntrack.ClientKey, req *httpx.Request, sp *telemetry.Span) (handled, connOK bool) {
 	start := time.Now()
 	e, state := d.cache.Get(req.Path)
+	sp.MarkCache()
 	switch state {
 	case respcache.Fresh:
-		return true, d.writeCached(client, key, req, e, "HIT", start)
+		return true, d.writeCached(client, key, req, e, "HIT", start, sp)
 	case respcache.Stale:
 		if req.Method == "HEAD" {
 			// HEAD carries no body either way; the relay path is cheap
 			// and avoids leading a GET fetch for it
 			return false, true
 		}
-		return d.serveStaleEntry(client, key, req, e, start)
+		return d.serveStaleEntry(client, key, req, e, start, sp)
 	default:
 		if req.Method == "HEAD" {
 			return false, true
 		}
-		return d.serveMiss(client, key, req, start)
+		return d.serveMiss(client, key, req, start, sp)
 	}
 }
 
@@ -66,7 +88,7 @@ func (d *Distributor) serveFromCache(client net.Conn, key conntrack.ClientKey, r
 // (If-None-Match / If-Modified-Since → 304) and emitting Age plus the
 // X-Dist-Cache verdict. Returns whether the client connection remains
 // usable.
-func (d *Distributor) writeCached(client net.Conn, key conntrack.ClientKey, req *httpx.Request, e *respcache.Entry, status string, start time.Time) bool {
+func (d *Distributor) writeCached(client net.Conn, key conntrack.ClientKey, req *httpx.Request, e *respcache.Entry, status string, start time.Time, sp *telemetry.Span) bool {
 	routeCost := time.Since(start)
 	notMod := false
 	if inm := req.Header.Get("If-None-Match"); inm != "" {
@@ -100,7 +122,14 @@ func (d *Distributor) writeCached(client net.Conn, key conntrack.ClientKey, req 
 	d.routed.Add(1)
 	d.relayNs.Add(int64(routeCost))
 	d.logAccess(key, req, code, sent)
-	cs := d.stats.Class(content.Classify(req.Path).String())
+	class := content.Classify(req.Path).String()
+	sp.MarkReply()
+	sp.SetClass(class)
+	sp.SetStatus(code)
+	sp.SetBytes(int64(sent))
+	sp.SetCache(status)
+	sp.SetOutcome("cached")
+	cs := d.stats.Class(class)
 	cs.Requests.Inc()
 	cs.Bytes.Add(int64(sent))
 	cs.Latency.Observe(procTime)
@@ -110,7 +139,7 @@ func (d *Distributor) writeCached(client net.Conn, key conntrack.ClientKey, req 
 // serveMiss handles a cache miss: join or lead the singleflight fetch for
 // the path. The leader performs one backend exchange and every concurrent
 // requester shares its result.
-func (d *Distributor) serveMiss(client net.Conn, key conntrack.ClientKey, req *httpx.Request, start time.Time) (handled, connOK bool) {
+func (d *Distributor) serveMiss(client net.Conn, key conntrack.ClientKey, req *httpx.Request, start time.Time, sp *telemetry.Span) (handled, connOK bool) {
 	f, leader := d.cache.BeginFlight(req.Path)
 	if !leader {
 		e, err := f.Wait()
@@ -118,13 +147,14 @@ func (d *Distributor) serveMiss(client net.Conn, key conntrack.ClientKey, req *h
 			// leader failed or the response was uncacheable: relay
 			return false, true
 		}
-		return true, d.writeCached(client, key, req, e, "HIT", start)
+		sp.MarkCache() // waited on the flight leader
+		return true, d.writeCached(client, key, req, e, "HIT", start, sp)
 	}
 	// double-check after winning the flight: a previous leader may have
 	// filled the entry between our Get miss and BeginFlight
 	if e, st := d.cache.Get(req.Path); st == respcache.Fresh {
 		f.Finish(e, nil)
-		return true, d.writeCached(client, key, req, e, "HIT", start)
+		return true, d.writeCached(client, key, req, e, "HIT", start, sp)
 	}
 	rec, err := d.table.Route(req.Path)
 	if err != nil {
@@ -133,6 +163,7 @@ func (d *Distributor) serveMiss(client net.Conn, key conntrack.ClientKey, req *h
 	}
 	node, err := d.pickReplica(rec, "")
 	routeCost := time.Since(start)
+	sp.MarkRoute()
 	if err != nil {
 		f.Finish(nil, err)
 		return false, true // relay path emits the 503
@@ -152,42 +183,50 @@ func (d *Distributor) serveMiss(client net.Conn, key conntrack.ClientKey, req *h
 	}
 	if err != nil {
 		f.Finish(nil, err)
+		sp.MarkBackend()
+		sp.SetStatus(502)
+		sp.SetOutcome("bad-gateway")
 		out := httpx.NewResponse(req.Proto, 502, []byte("backend error\n"))
 		d.logAccess(key, req, 502, len(out.Body))
 		_ = httpx.WriteResponse(client, out)
 		return true, false
 	}
+	sp.MarkBackend()
+	sp.SetBackend(string(node), resp.SpanID)
 	if !cacheableResponse(resp, d.cache.MaxEntryBytes()) {
 		f.Finish(nil, nil)
-		return true, d.streamResponse(client, key, req, node, pc, resp, start, routeCost)
+		return true, d.streamResponse(client, key, req, node, pc, resp, start, routeCost, sp)
 	}
 	e, berr := d.bufferEntry(pc, resp)
 	if berr != nil {
 		f.Finish(nil, berr)
+		sp.SetStatus(502)
+		sp.SetOutcome("bad-gateway")
 		out := httpx.NewResponse(req.Proto, 502, []byte("backend error\n"))
 		d.logAccess(key, req, 502, len(out.Body))
 		_ = httpx.WriteResponse(client, out)
 		return true, false
 	}
 	f.Finish(e, nil)
-	return true, d.writeCached(client, key, req, e, "MISS", start)
+	return true, d.writeCached(client, key, req, e, "MISS", start, sp)
 }
 
 // serveStaleEntry handles an expired entry: revalidate it against a back
 // end with a conditional GET (coalesced like a miss), falling back to
 // stale-on-error service when no replica can answer.
-func (d *Distributor) serveStaleEntry(client net.Conn, key conntrack.ClientKey, req *httpx.Request, stale *respcache.Entry, start time.Time) (handled, connOK bool) {
+func (d *Distributor) serveStaleEntry(client net.Conn, key conntrack.ClientKey, req *httpx.Request, stale *respcache.Entry, start time.Time, sp *telemetry.Span) (handled, connOK bool) {
 	f, leader := d.cache.BeginFlight(req.Path)
 	if !leader {
 		e, err := f.Wait()
+		sp.MarkCache() // waited on the flight leader
 		switch {
 		case e != nil && err == nil:
-			return true, d.writeCached(client, key, req, e, "HIT", start)
+			return true, d.writeCached(client, key, req, e, "HIT", start, sp)
 		case err != nil:
 			// no replica answered the leader; the entry is still within
 			// its stale window (Get classified it Stale), so degrade
 			d.cache.CountStale()
-			return true, d.writeCached(client, key, req, stale, "STALE", start)
+			return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
 		default:
 			return false, true // uncacheable upstream response: relay
 		}
@@ -200,10 +239,11 @@ func (d *Distributor) serveStaleEntry(client net.Conn, key conntrack.ClientKey, 
 	}
 	node, err := d.pickReplica(rec, "")
 	routeCost := time.Since(start)
+	sp.MarkRoute()
 	if err != nil {
 		f.Finish(nil, err)
 		d.cache.CountStale()
-		return true, d.writeCached(client, key, req, stale, "STALE", start)
+		return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
 	}
 	// conditional GET carrying the stored validator; a 304 means the body
 	// never moves again
@@ -212,6 +252,7 @@ func (d *Distributor) serveStaleEntry(client net.Conn, key conntrack.ClientKey, 
 	rr.Target = req.Target
 	rr.Path = req.Path
 	rr.Proto = httpx.Proto11
+	rr.TraceID = req.TraceID
 	rr.Header.Set("If-None-Match", stale.Stored.ETag)
 	counter := d.active[node]
 	counter.Add(1)
@@ -227,16 +268,18 @@ func (d *Distributor) serveStaleEntry(client net.Conn, key conntrack.ClientKey, 
 		}
 	}
 	httpx.ReleaseRequest(rr)
+	sp.MarkBackend()
 	if err != nil {
 		f.Finish(nil, err)
 		d.cache.CountStale()
-		return true, d.writeCached(client, key, req, stale, "STALE", start)
+		return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
 	}
+	sp.SetBackend(string(node), resp.SpanID)
 	if resp.StatusCode == 304 {
 		if serr := d.settleConn(pc, resp); serr != nil {
 			f.Finish(nil, serr)
 			d.cache.CountStale()
-			return true, d.writeCached(client, key, req, stale, "STALE", start)
+			return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
 		}
 		// skip the refresh if an invalidation raced the exchange: the
 		// waiting requesters still get the body they asked for before the
@@ -245,20 +288,20 @@ func (d *Distributor) serveStaleEntry(client net.Conn, key conntrack.ClientKey, 
 			d.cache.Refresh(stale)
 		}
 		f.Finish(stale, nil)
-		return true, d.writeCached(client, key, req, stale, "REVALIDATED", start)
+		return true, d.writeCached(client, key, req, stale, "REVALIDATED", start, sp)
 	}
 	if !cacheableResponse(resp, d.cache.MaxEntryBytes()) {
 		f.Finish(nil, nil)
-		return true, d.streamResponse(client, key, req, node, pc, resp, start, routeCost)
+		return true, d.streamResponse(client, key, req, node, pc, resp, start, routeCost, sp)
 	}
 	e, berr := d.bufferEntry(pc, resp)
 	if berr != nil {
 		f.Finish(nil, berr)
 		d.cache.CountStale()
-		return true, d.writeCached(client, key, req, stale, "STALE", start)
+		return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
 	}
 	f.Finish(e, nil)
-	return true, d.writeCached(client, key, req, e, "MISS", start)
+	return true, d.writeCached(client, key, req, e, "MISS", start, sp)
 }
 
 // cacheableResponse reports whether a backend response may be stored: a
@@ -318,7 +361,7 @@ func (d *Distributor) settleConn(pc *conntrack.PooledConn, resp *httpx.Response)
 // to the client and records the exchange, exactly as the non-cached relay
 // path does (it is that path's tail, shared with the cache's uncacheable
 // fallbacks). Returns whether the client connection remains usable.
-func (d *Distributor) streamResponse(client net.Conn, key conntrack.ClientKey, req *httpx.Request, node config.NodeID, pc *conntrack.PooledConn, resp *httpx.Response, start time.Time, routeCost time.Duration) bool {
+func (d *Distributor) streamResponse(client net.Conn, key conntrack.ClientKey, req *httpx.Request, node config.NodeID, pc *conntrack.PooledConn, resp *httpx.Response, start time.Time, routeCost time.Duration, sp *telemetry.Span) bool {
 	relayed, relayErr := httpx.RelayResponse(client, resp, pc.Reader, req.Proto, !req.KeepAlive())
 	if relayErr != nil {
 		// The header already reached the client, so the exchange cannot
@@ -328,6 +371,10 @@ func (d *Distributor) streamResponse(client net.Conn, key conntrack.ClientKey, r
 		if errors.Is(relayErr, httpx.ErrBodyTruncated) {
 			d.truncations.Add(1)
 		}
+		sp.MarkReply()
+		sp.SetStatus(resp.StatusCode)
+		sp.SetBytes(relayed)
+		sp.SetOutcome("relay-error")
 		d.logAccess(key, req, resp.StatusCode, int(relayed))
 		return false
 	}
@@ -348,6 +395,11 @@ func (d *Distributor) streamResponse(client net.Conn, key conntrack.ClientKey, r
 	d.logAccess(key, req, resp.StatusCode, int(relayed))
 	class := content.Classify(req.Path)
 	d.tracker.Record(node, class, procTime)
+	sp.MarkReply()
+	sp.SetClass(class.String())
+	sp.SetStatus(resp.StatusCode)
+	sp.SetBytes(relayed)
+	sp.SetOutcome("relayed")
 	cs := d.stats.Class(class.String())
 	cs.Requests.Inc()
 	cs.Bytes.Add(relayed)

@@ -23,8 +23,8 @@ import (
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/loadbal"
-	"webcluster/internal/metrics"
 	"webcluster/internal/respcache"
+	"webcluster/internal/telemetry"
 	"webcluster/internal/urltable"
 )
 
@@ -77,6 +77,12 @@ type Options struct {
 	// plane must purge it on every content mutation — wire the same
 	// cache into the controller.
 	Cache *respcache.Cache
+	// Telemetry, when non-nil, enables request-scoped tracing: every
+	// request gets a pooled span (parse → route → cache → backend →
+	// reply) captured into the telemetry ring, and trace IDs propagate
+	// to back ends via the X-Dist-Trace header. Nil means untraced; the
+	// per-class stats registry exists either way.
+	Telemetry *telemetry.Telemetry
 }
 
 // Distributor is the content-aware front end. Construct with New.
@@ -108,7 +114,8 @@ type Distributor struct {
 	closeOne sync.Once
 	wg       sync.WaitGroup
 
-	stats   metrics.Registry
+	tel     *telemetry.Telemetry
+	stats   *telemetry.Registry
 	routed  atomic.Int64
 	noRoute atomic.Int64
 	relayNs atomic.Int64 // summed relay overhead (routing decision time)
@@ -167,12 +174,21 @@ func New(opts Options) (*Distributor, error) {
 	} else if retryBackoff < 0 {
 		retryBackoff = 0
 	}
+	stats := opts.Telemetry.Registry()
+	if stats == nil {
+		stats = telemetry.NewRegistry("distributor")
+	}
+	if opts.Cache != nil {
+		registerCacheMetrics(stats, opts.Cache)
+	}
 	d := &Distributor{
 		table:     opts.Table,
 		cluster:   opts.Cluster,
 		picker:    picker,
 		mapping:   conntrack.NewMappingTable(),
 		cache:     opts.Cache,
+		tel:       opts.Telemetry,
+		stats:     stats,
 		tracker:   loadbal.NewTracker(weights),
 		active:    make(map[config.NodeID]*atomic.Int64, len(opts.Cluster.Nodes)),
 		conns:     make(map[net.Conn]struct{}),
@@ -213,7 +229,10 @@ func (d *Distributor) Mapping() *conntrack.MappingTable { return d.mapping }
 func (d *Distributor) Cluster() config.ClusterSpec { return d.cluster }
 
 // Stats returns per-class statistics observed at the front end.
-func (d *Distributor) Stats() *metrics.Registry { return &d.stats }
+func (d *Distributor) Stats() *telemetry.Registry { return d.stats }
+
+// Telemetry returns the tracing layer, nil when tracing is off.
+func (d *Distributor) Telemetry() *telemetry.Telemetry { return d.tel }
 
 // Routed returns the number of successfully routed requests.
 func (d *Distributor) Routed() int64 { return d.routed.Load() }
@@ -322,9 +341,20 @@ func (d *Distributor) serveClient(client net.Conn) {
 	req := httpx.AcquireRequest()
 	defer httpx.ReleaseRequest(req)
 	for {
+		// Tracing starts after the first request byte is visible, so
+		// keep-alive idle time between requests is never charged to the
+		// parse phase. A failed Peek falls through: ReadRequestInto hits
+		// the same condition and classifies it (clean FIN vs. torn read).
+		var sp *telemetry.Span
+		if d.tel != nil {
+			if _, perr := br.Peek(1); perr == nil {
+				sp = d.tel.StartSpan(0)
+			}
+		}
 		err := httpx.ReadRequestInto(br, req)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
+				d.finishSpan(sp, "client-fin")
 				// Client FIN with no request in flight: run teardown.
 				if _, err := d.mapping.Advance(key, conntrack.EventClientFin); err == nil {
 					_, _ = d.mapping.Advance(key, conntrack.EventFinAcked)
@@ -332,12 +362,20 @@ func (d *Distributor) serveClient(client net.Conn) {
 				}
 				return
 			}
+			sp.MarkParse()
+			sp.SetStatus(400)
+			d.finishSpan(sp, "parse-error")
 			resp := httpx.NewResponse(httpx.Proto10, 400, []byte("bad request\n"))
 			_ = httpx.WriteResponse(client, resp)
 			reset()
 			return
 		}
-		if !d.relayRequest(client, key, req) {
+		sp.AdoptTrace(req.TraceID)
+		sp.MarkParse()
+		sp.SetRequest(req.Method, req.Path)
+		ok := d.relayRequest(client, key, req, sp)
+		d.tel.FinishSpan(sp)
+		if !ok {
 			reset()
 			return
 		}
@@ -353,14 +391,31 @@ func (d *Distributor) serveClient(client net.Conn) {
 	}
 }
 
+// finishSpan stamps a terminal outcome and closes the span (nil-safe).
+func (d *Distributor) finishSpan(sp *telemetry.Span, outcome string) {
+	if sp == nil {
+		return
+	}
+	sp.SetOutcome(outcome)
+	d.tel.FinishSpan(sp)
+}
+
 // relayRequest routes one parsed request and relays the response. It
-// reports whether the client connection remains usable.
-func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req *httpx.Request) bool {
+// reports whether the client connection remains usable. sp is the
+// request's span (nil when tracing is off); relayRequest marks phases and
+// outcomes but the caller finishes it.
+func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req *httpx.Request, sp *telemetry.Span) bool {
+	if sp != nil {
+		// Propagate the trace in-band: every forwarded exchange below
+		// carries X-Dist-Trace, and the chosen back end echoes it with its
+		// own span ID.
+		req.TraceID = sp.ID()
+	}
 	if d.cache != nil && cacheEligible(req) {
 		// Cache hits (and cache-led fetches) never bind a back-end
 		// connection, so the mapping entry stays ESTABLISHED; a miss the
 		// cache declines falls through to the ordinary relay below.
-		if handled, ok := d.serveFromCache(client, key, req); handled {
+		if handled, ok := d.serveFromCache(client, key, req, sp); handled {
 			return ok
 		}
 	}
@@ -368,14 +423,20 @@ func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req
 	rec, err := d.table.Route(req.Path)
 	if err != nil {
 		d.noRoute.Add(1)
+		sp.MarkRoute()
+		sp.SetStatus(404)
+		sp.SetOutcome("no-route")
 		resp := httpx.NewResponse(req.Proto, 404, []byte("no route: "+req.Path+"\n"))
 		d.logAccess(key, req, 404, len(resp.Body))
 		return httpx.WriteResponse(client, resp) == nil && req.KeepAlive()
 	}
 	node, err := d.pickReplica(rec, "")
 	routeCost := time.Since(start)
+	sp.MarkRoute()
 	if err != nil {
 		d.noRoute.Add(1)
+		sp.SetStatus(503)
+		sp.SetOutcome("no-replica")
 		resp := httpx.NewResponse(req.Proto, 503, []byte("no backend available\n"))
 		d.logAccess(key, req, 503, len(resp.Body))
 		return httpx.WriteResponse(client, resp) == nil && req.KeepAlive()
@@ -408,18 +469,23 @@ func (d *Distributor) relayRequest(client net.Conn, key conntrack.ClientKey, req
 		}
 	}
 	if err != nil {
+		sp.MarkBackend()
+		sp.SetStatus(502)
+		sp.SetOutcome("bad-gateway")
 		out := httpx.NewResponse(req.Proto, 502, []byte("backend error\n"))
 		d.logAccess(key, req, 502, len(out.Body))
 		_ = httpx.WriteResponse(client, out)
 		return false
 	}
+	sp.MarkBackend()
+	sp.SetBackend(string(node), resp.SpanID)
 
 	// Response header is parsed; the body still sits on the back-end
 	// connection. streamResponse copies it to the client through a pooled
 	// buffer and records the exchange. The exchange deadline stays armed
 	// across the copy so a back end that stalls mid-body cannot pin this
 	// goroutine.
-	if !d.streamResponse(client, key, req, node, pc, resp, start, routeCost) {
+	if !d.streamResponse(client, key, req, node, pc, resp, start, routeCost, sp) {
 		return false
 	}
 	if _, err := d.mapping.Advance(key, conntrack.EventRequestDone); err != nil {

@@ -212,6 +212,10 @@ type Request struct {
 	Header Header
 	// Body holds the request body when Content-Length was present.
 	Body []byte
+	// TraceID carries the in-band X-Dist-Trace value. The wire header is
+	// parsed into (and emitted from) this field rather than the Header
+	// slice, so tracing never allocates a header string on the hot path.
+	TraceID uint64
 }
 
 // reset clears the request for reuse, keeping the header and body backing
@@ -220,6 +224,7 @@ func (r *Request) reset() {
 	r.Method, r.Target, r.Path, r.Query, r.Proto = "", "", "", "", ""
 	r.Header = r.Header[:0]
 	r.Body = r.Body[:0]
+	r.TraceID = 0
 }
 
 // keepAlive implements the shared version-dependent connection rules:
@@ -340,12 +345,20 @@ func canonFieldKey(b []byte) string {
 		return "If-None-Match"
 	case "If-Modified-Since":
 		return "If-Modified-Since"
+	case "X-Dist-Trace":
+		return "X-Dist-Trace"
+	case "X-Dist-Span":
+		return "X-Dist-Span"
 	}
 	return string(s)
 }
 
 // readHeaderInto parses header lines into h until the blank separator.
-func readHeaderInto(br *bufio.Reader, h *Header) error {
+// The in-band tracing headers are diverted into the trace/span sinks when
+// provided (never materialized as header strings — the zero-alloc keep-
+// alive path depends on that); with a nil sink they land in h like any
+// other field.
+func readHeaderInto(br *bufio.Reader, h *Header, trace, span *uint64) error {
 	for i := 0; ; i++ {
 		if i >= maxHeaderLines {
 			return ErrHeaderTooLarge
@@ -362,6 +375,14 @@ func readHeaderInto(br *bufio.Reader, h *Header) error {
 			return fmt.Errorf("%w: header %q", ErrMalformedRequest, line)
 		}
 		key := canonFieldKey(line[:idx])
+		if key == "X-Dist-Trace" && trace != nil {
+			*trace, _ = parseHex(bytes.TrimSpace(line[idx+1:]))
+			continue
+		}
+		if key == "X-Dist-Span" && span != nil {
+			*span, _ = parseHex(bytes.TrimSpace(line[idx+1:]))
+			continue
+		}
 		val := internValue(bytes.TrimSpace(line[idx+1:]))
 		h.setCanonical(key, val)
 	}
@@ -412,7 +433,7 @@ func ReadRequestInto(br *bufio.Reader, req *Request) error {
 	req.Target = string(rest[:sp2])
 	req.Path, req.Query, _ = strings.Cut(req.Target, "?")
 
-	if err := readHeaderInto(br, &req.Header); err != nil {
+	if err := readHeaderInto(br, &req.Header, &req.TraceID, nil); err != nil {
 		return err
 	}
 
@@ -491,6 +512,11 @@ func writeRequestHead(bw *bufio.Writer, req *Request, proto string) {
 	} else {
 		req.Header.writeFields(bw, skipConn, "")
 	}
+	if req.TraceID != 0 {
+		_, _ = bw.WriteString("X-Dist-Trace: ")
+		writeHex(bw, req.TraceID)
+		_, _ = bw.WriteString("\r\n")
+	}
 	_, _ = bw.WriteString("\r\n")
 }
 
@@ -508,6 +534,12 @@ type Response struct {
 	// section (0 when absent). Valid after ReadResponseHeader and
 	// ReadResponse.
 	ContentLength int64
+	// TraceID/SpanID carry the in-band X-Dist-Trace / X-Dist-Span values:
+	// a traced backend echoes the request's trace ID and stamps its own
+	// service span ID. Parsed into (and emitted from) these fields, never
+	// stored as header strings.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // statusText maps the status codes this system emits to reason phrases.
@@ -596,6 +628,7 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	defer releaseWriter(bw)
 	writeStatusLine(bw, resp.Proto, resp.StatusCode, resp.Status)
 	resp.Header.writeFields(bw, "Content-Length", "")
+	writeTraceFields(bw, resp)
 	_, _ = bw.WriteString("Content-Length: ")
 	writeInt(bw, int64(len(resp.Body)))
 	_, _ = bw.WriteString("\r\n\r\n")
@@ -604,6 +637,66 @@ func WriteResponse(w io.Writer, resp *Response) error {
 		return fmt.Errorf("writing response: %w", err)
 	}
 	return nil
+}
+
+// writeTraceFields emits the in-band tracing headers from resp's fields.
+func writeTraceFields(bw *bufio.Writer, resp *Response) {
+	if resp.TraceID != 0 {
+		_, _ = bw.WriteString("X-Dist-Trace: ")
+		writeHex(bw, resp.TraceID)
+		_, _ = bw.WriteString("\r\n")
+	}
+	if resp.SpanID != 0 {
+		_, _ = bw.WriteString("X-Dist-Span: ")
+		writeHex(bw, resp.SpanID)
+		_, _ = bw.WriteString("\r\n")
+	}
+}
+
+// writeHex emits v as lowercase hex without allocating, digits routed
+// through WriteByte for the same escape-analysis reason as writeInt.
+func writeHex(bw *bufio.Writer, v uint64) {
+	var scratch [16]byte
+	i := len(scratch)
+	for {
+		i--
+		d := byte(v & 0xf)
+		if d < 10 {
+			scratch[i] = '0' + d
+		} else {
+			scratch[i] = 'a' + d - 10
+		}
+		v >>= 4
+		if v == 0 {
+			break
+		}
+	}
+	for ; i < len(scratch); i++ {
+		_ = bw.WriteByte(scratch[i])
+	}
+}
+
+// parseHex parses an unsigned hex value from wire bytes without
+// allocating.
+func parseHex(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 16 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		n <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			n |= uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			n |= uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			n |= uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+	}
+	return n, true
 }
 
 // parseDecimal parses an unsigned decimal from wire bytes without
@@ -658,7 +751,7 @@ func ReadResponseHeader(br *bufio.Reader) (*Response, error) {
 		return nil, fmt.Errorf("%w: status code %q", ErrMalformedRequest, codeBytes)
 	}
 	resp.StatusCode = int(code)
-	if err := readHeaderInto(br, &resp.Header); err != nil {
+	if err := readHeaderInto(br, &resp.Header, &resp.TraceID, &resp.SpanID); err != nil {
 		return nil, err
 	}
 	if cl := resp.Header.Get("Content-Length"); cl != "" {

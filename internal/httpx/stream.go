@@ -75,6 +75,7 @@ func RelayResponse(dst io.Writer, resp *Response, src io.Reader, clientProto str
 	} else if c := resp.Header.Get("Connection"); c != "" {
 		writeField(bw, "Connection", c)
 	}
+	writeTraceFields(bw, resp)
 	_, _ = bw.WriteString("Content-Length: ")
 	writeInt(bw, resp.ContentLength)
 	_, _ = bw.WriteString("\r\n\r\n")

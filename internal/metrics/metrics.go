@@ -41,45 +41,80 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram collects duration observations and reports summary statistics.
+// reservoirCap bounds how many samples a Histogram retains. Beyond the
+// cap, Vitter's algorithm R keeps a uniform random subset, so quantiles
+// stay representative while memory stays O(1) no matter how long the
+// histogram lives.
+const reservoirCap = 4096
+
+// Histogram collects duration observations and reports summary statistics
+// from a bounded reservoir. Count and Mean are exact (running tallies);
+// quantiles are computed over at most reservoirCap retained samples.
 // The zero value is ready to use.
+//
+// Deprecated for live request paths: this type takes a mutex per observe
+// and sorts on every quantile read. Hot paths should use the lock-free
+// telemetry.Histogram instead; this one remains for offline summarization
+// (benchmark harnesses, replay reports) where exact small-sample
+// quantiles and time.Duration ergonomics matter more than contention.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	count   int64
+	sum     time.Duration
+	rng     uint64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.count++
+	h.sum += d
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Algorithm R: replace a random slot with probability cap/count.
+	if j := h.nextRand() % uint64(h.count); j < reservoirCap {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count returns the number of recorded samples.
+// nextRand steps a splitmix64 sequence; called under h.mu.
+func (h *Histogram) nextRand() uint64 {
+	h.rng += 0x9e3779b97f4a7c15
+	z := h.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Count returns the number of recorded samples (exact, not the retained
+// reservoir size).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+// Mean returns the arithmetic mean of all observed samples (exact), or 0
+// with no samples.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range h.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank, or 0
-// with no samples.
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank over
+// the retained reservoir, or 0 with no samples. Exact until the
+// observation count exceeds the reservoir capacity, estimated after.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -103,21 +138,23 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Reset discards all samples.
+// Reset discards all samples and tallies.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.count = 0
+	h.sum = 0
 }
 
 // Meter measures event throughput over a measurement interval, mirroring
-// WebBench's requests-per-second metric. The zero value is not usable;
-// construct with NewMeter.
+// WebBench's requests-per-second metric. Mark is a single atomic add, so
+// many workers can share one meter without contending on a lock. The zero
+// value is not usable; construct with NewMeter.
 type Meter struct {
-	mu      sync.Mutex
-	started time.Time
-	events  int64
+	startNs atomic.Int64
+	events  atomic.Int64
 	now     func() time.Time
 }
 
@@ -127,40 +164,31 @@ func NewMeter() *Meter { return NewMeterAt(time.Now) }
 // NewMeterAt returns a meter reading time from now, letting simulations
 // drive throughput measurement off a virtual clock.
 func NewMeterAt(now func() time.Time) *Meter {
-	return &Meter{started: now(), now: now}
+	m := &Meter{now: now}
+	m.startNs.Store(now().UnixNano())
+	return m
 }
 
 // Mark records n events.
-func (m *Meter) Mark(n int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.events += n
-}
+func (m *Meter) Mark(n int64) { m.events.Add(n) }
 
 // Rate returns events per second since the meter started (or was reset).
 func (m *Meter) Rate() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	elapsed := m.now().Sub(m.started).Seconds()
+	elapsed := time.Duration(m.now().UnixNano() - m.startNs.Load()).Seconds()
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(m.events) / elapsed
+	return float64(m.events.Load()) / elapsed
 }
 
 // Count returns the number of marked events.
-func (m *Meter) Count() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.events
-}
+func (m *Meter) Count() int64 { return m.events.Load() }
 
-// Reset zeroes the meter and restarts its measurement interval.
+// Reset zeroes the meter and restarts its measurement interval. Marks
+// racing a Reset land on one side or the other of the new interval.
 func (m *Meter) Reset() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.events = 0
-	m.started = m.now()
+	m.events.Store(0)
+	m.startNs.Store(m.now().UnixNano())
 }
 
 // ClassStats aggregates request outcomes for one content class (static,

@@ -24,6 +24,7 @@ import (
 	"webcluster/internal/backend"
 	"webcluster/internal/config"
 	"webcluster/internal/monitor"
+	"webcluster/internal/telemetry"
 )
 
 // Op is a built-in agent behaviour. Agent specs bind a name to an op; the
@@ -50,6 +51,9 @@ const (
 	// OpChecksum returns the SHA-256 of a stored file, letting the
 	// controller audit replica consistency without transferring bytes.
 	OpChecksum
+	// OpTelemetry returns the node's telemetry report (metrics snapshot
+	// plus slowest recent spans) for the single-system-image stats plane.
+	OpTelemetry
 )
 
 // String names the op.
@@ -71,6 +75,8 @@ func (o Op) String() string {
 		return "replace-file"
 	case OpChecksum:
 		return "checksum"
+	case OpTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -86,7 +92,7 @@ type Spec struct {
 // BuiltinSpecs returns the standard agent repository contents: one agent
 // per management function, named as the controller dispatches them.
 func BuiltinSpecs() []Spec {
-	ops := []Op{OpPing, OpStatus, OpDeleteFile, OpStoreFile, OpFetchFile, OpListFiles, OpReplaceFile, OpChecksum}
+	ops := []Op{OpPing, OpStatus, OpDeleteFile, OpStoreFile, OpFetchFile, OpListFiles, OpReplaceFile, OpChecksum, OpTelemetry}
 	specs := make([]Spec, len(ops))
 	for i, op := range ops {
 		specs[i] = Spec{Name: op.String(), Op: op}
@@ -105,10 +111,11 @@ type Args struct {
 
 // Result carries an agent's outcome.
 type Result struct {
-	Message string              `json:"message,omitempty"`
-	Data    []byte              `json:"data,omitempty"`
-	Paths   []string            `json:"paths,omitempty"`
-	Status  *monitor.NodeStatus `json:"status,omitempty"`
+	Message   string              `json:"message,omitempty"`
+	Data      []byte              `json:"data,omitempty"`
+	Paths     []string            `json:"paths,omitempty"`
+	Status    *monitor.NodeStatus `json:"status,omitempty"`
+	Telemetry *telemetry.Report   `json:"telemetry,omitempty"`
 }
 
 // Env is the node-local environment an agent executes against.
@@ -118,8 +125,15 @@ type Env struct {
 	// Server is the co-located web server, when one exists, for status
 	// reporting; nil on a pure storage node.
 	Server *backend.Server
-	Now    func() time.Time
+	// Telemetry is the node's observability layer for OpTelemetry
+	// scrapes. Defaults to Server's when nil.
+	Telemetry *telemetry.Telemetry
+	Now       func() time.Time
 }
+
+// telemetryReportSpans caps how many spans one OpTelemetry scrape ships
+// (the slowest ones; the console merges and re-caps across nodes).
+const telemetryReportSpans = 32
 
 // ExecuteOp runs one agent op in env.
 func ExecuteOp(op Op, env Env, args Args) (Result, error) {
@@ -147,10 +161,15 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 			st.CacheMisses = cs.Misses
 			st.CacheHitRate = cs.HitRate()
 			var served int64
+			var latency telemetry.HistSnapshot
 			for _, class := range env.Server.Stats().Classes() {
-				served += env.Server.Stats().Class(class).Requests.Value()
+				stats := env.Server.Stats().Class(class)
+				served += stats.Requests.Value()
+				latency.Merge(stats.Latency.Snapshot())
 			}
 			st.RequestsServed = served
+			st.LatencyP50Ns = int64(latency.Quantile(0.5))
+			st.LatencyP99Ns = int64(latency.Quantile(0.99))
 		}
 		return Result{Status: &st}, nil
 
@@ -239,6 +258,17 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 		}
 		sum := sha256.Sum256(data)
 		return Result{Message: hex.EncodeToString(sum[:])}, nil
+
+	case OpTelemetry:
+		tel := env.Telemetry
+		if tel == nil && env.Server != nil {
+			tel = env.Server.Telemetry()
+		}
+		if tel == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no telemetry", env.Node)
+		}
+		report := tel.Report(telemetryReportSpans)
+		return Result{Telemetry: &report}, nil
 
 	default:
 		return Result{}, fmt.Errorf("mgmt: unknown op %v", op)

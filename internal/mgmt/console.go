@@ -13,6 +13,7 @@ import (
 	"webcluster/internal/doctree"
 	"webcluster/internal/monitor"
 	"webcluster/internal/respcache"
+	"webcluster/internal/telemetry"
 )
 
 // The remote console (§3.1/§3.2). The paper ships a Java-applet GUI; this
@@ -38,6 +39,8 @@ type ConsoleRequest struct {
 	Seed     int64  `json:"seed,omitempty"`
 	Workload string `json:"workload,omitempty"`
 	Policy   string `json:"policy,omitempty"`
+	// Limit caps list-shaped replies (traces); 0 means the default.
+	Limit int `json:"limit,omitempty"`
 }
 
 // ConsoleResponse is the controller's reply.
@@ -52,6 +55,10 @@ type ConsoleResponse struct {
 	Message string              `json:"message,omitempty"`
 	// Cache carries the front-end response-cache counters (cache-stats).
 	Cache *respcache.Stats `json:"cache,omitempty"`
+	// Stats carries the merged cluster-wide telemetry view (stats).
+	Stats *telemetry.ClusterStats `json:"stats,omitempty"`
+	// Traces carries the slowest recent spans across all nodes (traces).
+	Traces []telemetry.Span `json:"traces,omitempty"`
 }
 
 // SiteLoader services the console's loadsite command: generate a synthetic
@@ -255,6 +262,20 @@ func (s *ConsoleServer) handle(req ConsoleRequest) ConsoleResponse {
 			return fail(fmt.Errorf("console: no response cache attached"))
 		}
 		return ConsoleResponse{OK: true, Cache: &stats}
+	case "stats":
+		stats, missing := s.controller.ClusterStats()
+		resp := ConsoleResponse{OK: true, Stats: &stats}
+		if len(missing) > 0 {
+			resp.Message = fmt.Sprintf("unreachable: %v", missing)
+		}
+		return resp
+	case "traces":
+		spans, missing := s.controller.ClusterTraces(req.Limit)
+		resp := ConsoleResponse{OK: true, Traces: spans}
+		if len(missing) > 0 {
+			resp.Message = fmt.Sprintf("unreachable: %v", missing)
+		}
+		return resp
 	case "audit":
 		return ConsoleResponse{OK: true, Audit: s.controller.AuditLog()}
 	case "loadsite":

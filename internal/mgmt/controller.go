@@ -13,6 +13,7 @@ import (
 	"webcluster/internal/loadbal"
 	"webcluster/internal/monitor"
 	"webcluster/internal/respcache"
+	"webcluster/internal/telemetry"
 	"webcluster/internal/urltable"
 )
 
@@ -41,6 +42,7 @@ type Controller struct {
 	repo    map[string]Spec
 	audit   []string
 	cache   CacheView
+	tel     *telemetry.Telemetry
 
 	installsSent int64
 }
@@ -119,6 +121,68 @@ func (c *Controller) cacheView() CacheView {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cache
+}
+
+// SetTelemetry attaches the front end's (distributor's) telemetry layer
+// so cluster-wide stats include the distributor's own view alongside the
+// per-node scrapes.
+func (c *Controller) SetTelemetry(t *telemetry.Telemetry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = t
+}
+
+// telemetryView returns the attached front-end telemetry, nil when none.
+func (c *Controller) telemetryView() *telemetry.Telemetry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tel
+}
+
+// gatherReports scrapes the telemetry of every reachable node (via
+// OpTelemetry dispatch) plus the attached front-end layer. Nodes that
+// fail to answer are skipped — a single-system image over the nodes that
+// are alive beats no image at all — and their IDs are returned so the
+// caller can surface the gap.
+func (c *Controller) gatherReports() (reports []telemetry.Report, missing []config.NodeID) {
+	if t := c.telemetryView(); t != nil {
+		reports = append(reports, t.Report(telemetryReportSpans))
+	}
+	for _, node := range c.Nodes() {
+		res, err := c.Dispatch(node, OpTelemetry.String(), Args{})
+		if err != nil || res.Telemetry == nil {
+			missing = append(missing, node)
+			continue
+		}
+		reports = append(reports, *res.Telemetry)
+	}
+	return reports, missing
+}
+
+// ClusterStats merges every node's telemetry snapshot (plus the front
+// end's) into the single-system-image per-class view the console's stats
+// verb renders.
+func (c *Controller) ClusterStats() (telemetry.ClusterStats, []config.NodeID) {
+	reports, missing := c.gatherReports()
+	snaps := make([]telemetry.Snapshot, len(reports))
+	for i, r := range reports {
+		snaps[i] = r.Snapshot
+	}
+	return telemetry.Summarize(snaps...), missing
+}
+
+// ClusterTraces returns the slowest recent spans across every node,
+// merged slowest-first and capped at limit (<=0 for the default 32).
+func (c *Controller) ClusterTraces(limit int) ([]telemetry.Span, []config.NodeID) {
+	if limit <= 0 {
+		limit = telemetryReportSpans
+	}
+	reports, missing := c.gatherReports()
+	lists := make([][]telemetry.Span, len(reports))
+	for i, r := range reports {
+		lists[i] = r.Spans
+	}
+	return telemetry.MergeSpans(limit, lists...), missing
 }
 
 // purgeCache synchronously invalidates path in the front-end cache after

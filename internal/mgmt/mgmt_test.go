@@ -97,7 +97,7 @@ func TestExecuteUnknownOp(t *testing.T) {
 
 func TestBuiltinSpecsCoverOps(t *testing.T) {
 	specs := BuiltinSpecs()
-	if len(specs) != 8 {
+	if len(specs) != 9 {
 		t.Fatalf("specs = %d", len(specs))
 	}
 	for _, s := range specs {

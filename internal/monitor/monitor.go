@@ -14,15 +14,19 @@ import (
 
 // NodeStatus is one node's health/load snapshot.
 type NodeStatus struct {
-	Node           string    `json:"node"`
-	ActiveRequests int64     `json:"activeRequests"`
-	StoreObjects   int       `json:"storeObjects"`
-	StoreBytes     int64     `json:"storeBytes"`
-	CacheHits      int64     `json:"cacheHits"`
-	CacheMisses    int64     `json:"cacheMisses"`
-	CacheHitRate   float64   `json:"cacheHitRate"`
-	RequestsServed int64     `json:"requestsServed"`
-	CollectedAt    time.Time `json:"collectedAt"`
+	Node           string  `json:"node"`
+	ActiveRequests int64   `json:"activeRequests"`
+	StoreObjects   int     `json:"storeObjects"`
+	StoreBytes     int64   `json:"storeBytes"`
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+	RequestsServed int64   `json:"requestsServed"`
+	// Service-latency quantiles aggregated across every content class,
+	// from the node's live telemetry histograms.
+	LatencyP50Ns int64     `json:"latencyP50Ns,omitempty"`
+	LatencyP99Ns int64     `json:"latencyP99Ns,omitempty"`
+	CollectedAt  time.Time `json:"collectedAt"`
 }
 
 // Prober checks one node, returning its status or an error when the node

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// AdminServer is the node-local observability endpoint: GET /metrics
+// (Prometheus text exposition), /debug/vars (JSON registry snapshot),
+// /debug/traces (recent spans, newest first, ?limit=N), and /healthz.
+// It serves read-only views — mutation stays on the management console.
+type AdminServer struct {
+	tel *Telemetry
+	mux *http.ServeMux
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewAdmin builds an admin server over t.
+func NewAdmin(t *Telemetry) *AdminServer {
+	a := &AdminServer{tel: t, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/debug/vars", a.handleVars)
+	a.mux.HandleFunc("/debug/traces", a.handleTraces)
+	a.mux.HandleFunc("/healthz", a.handleHealthz)
+	return a
+}
+
+// Mux exposes the underlying mux so a command can mount extra handlers
+// (the pprof index, for one) on the same listener.
+func (a *AdminServer) Mux() *http.ServeMux { return a.mux }
+
+// Start listens on addr and serves in the background; returns the bound
+// address. Read/write timeouts bound every accepted connection so a
+// wedged scraper can't pin a goroutine.
+func (a *AdminServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	a.ln = ln
+	a.srv = &http.Server{
+		Handler:      a.mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	go func() { _ = a.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (a *AdminServer) Addr() string {
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener and any in-flight handlers.
+func (a *AdminServer) Close() error {
+	if a.srv == nil {
+		return nil
+	}
+	return a.srv.Close()
+}
+
+func (a *AdminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.tel.Registry().WritePrometheus(w)
+}
+
+func (a *AdminServer) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(a.tel.Registry().Snapshot())
+}
+
+func (a *AdminServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(a.tel.Spans(limit))
+}
+
+func (a *AdminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write([]byte("ok\n"))
+}

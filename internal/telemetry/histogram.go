@@ -1,0 +1,249 @@
+// Package telemetry is the live observability layer: lock-free metrics
+// (atomic log-linear histograms, counters, gauges) aggregated per request
+// class, request-scoped spans pooled and captured into a fixed-size ring,
+// a Prometheus/JSON exposition registry, and an admin HTTP listener. The
+// management plane scrapes per-node snapshots and merges them into the
+// single-system-image cluster view (DESIGN.md §11).
+//
+// Everything on the request path is allocation-free and lock-free:
+// histograms are fixed preallocated atomic bucket arrays, class lookup is
+// a copy-on-write map read, spans come from a sync.Pool and are copied by
+// value into the ring. bench_test.go's BenchmarkDistributorRelayTraced
+// holds the layer to zero allocs/op over the untraced relay.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear (HDR-style) bucket layout: values 0..2^subBits-1 land in
+// exact unit buckets; above that each power-of-two octave is split into
+// 2^subBits linear sub-buckets, giving a bounded ~3% relative error at
+// every magnitude with a fixed, preallocated bucket array.
+const (
+	subBits    = 5
+	subCount   = 1 << subBits
+	subMask    = subCount - 1
+	numBuckets = (64 - subBits + 1) << subBits // exact range + 59 octaves
+)
+
+// bucketIndex maps a non-negative value (nanoseconds) to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // e >= subBits
+	sub := (u >> (uint(e) - subBits)) & subMask
+	return int((uint(e-subBits+1) << subBits) | uint(sub))
+}
+
+// bucketBound returns the largest value that maps to bucket i (quantile
+// estimates use the upper bound, so they never understate).
+func bucketBound(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	e := uint(i>>subBits) + subBits - 1
+	sub := uint64(i & subMask)
+	lower := uint64(1)<<e | sub<<(e-subBits)
+	width := uint64(1) << (e - subBits)
+	return int64(lower + width - 1)
+}
+
+// Histogram is a fixed-size atomic log-linear latency histogram. Observe
+// is lock-free and allocation-free; snapshots are mergeable by
+// construction (bucket layouts are identical everywhere), which is what
+// lets the controller aggregate per-node histograms into one cluster-wide
+// distribution. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one duration given in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts,
+// or 0 with no observations. Concurrent observers may skew a racing read
+// by a few samples; statistics reads tolerate that.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := rankFor(q, total)
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			return time.Duration(bucketBound(i))
+		}
+	}
+	return time.Duration(bucketBound(numBuckets - 1))
+}
+
+// rankFor converts a quantile into a nearest-rank target count.
+func rankFor(q float64, total int64) int64 {
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return total
+	}
+	target := int64(q*float64(total) + 0.9999999)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	return target
+}
+
+// Reset zeroes every bucket (management/test use; not atomic with respect
+// to concurrent observers).
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	// Index identifies the bucket in the shared log-linear layout.
+	Index int `json:"i"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time, JSON-encodable copy of a histogram.
+// Buckets are sparse (non-empty only) and index-sorted. Snapshots taken
+// from any Histogram share the bucket layout, so Merge is elementwise
+// addition — the property the single-system-image stats plane relies on.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	SumNs   int64    `json:"sumNs"`
+	MaxNs   int64    `json:"maxNs"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	for i := 0; i < numBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Index: i, Count: c})
+		}
+	}
+	return s
+}
+
+// Merge adds o into s (both bucket lists are index-sorted; the result is
+// too).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	if o.MaxNs > s.MaxNs {
+		s.MaxNs = o.MaxNs
+	}
+	if len(o.Buckets) == 0 {
+		return
+	}
+	merged := make([]Bucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Index < o.Buckets[j].Index):
+			merged = append(merged, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Index < s.Buckets[i].Index:
+			merged = append(merged, o.Buckets[j])
+			j++
+		default:
+			merged = append(merged, Bucket{Index: s.Buckets[i].Index, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	s.Buckets = merged
+}
+
+// Mean returns the snapshot's arithmetic mean.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := rankFor(q, s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return time.Duration(bucketBound(b.Index))
+		}
+	}
+	if n := len(s.Buckets); n > 0 {
+		return time.Duration(bucketBound(s.Buckets[n-1].Index))
+	}
+	return 0
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
 	"webcluster/internal/workload"
 )
@@ -188,6 +189,14 @@ type ReplayOptions struct {
 	Speedup float64
 	// Concurrency bounds in-flight requests in as-fast-as-possible mode.
 	Concurrency int
+	// Timeout bounds each request round trip (write + read). A wedged
+	// front end surfaces as a counted error, not a hung replay worker.
+	// Defaults to 5s.
+	Timeout time.Duration
+	// Faults, when non-nil, gates replay dials (point "replay.dial") and
+	// wraps connections (point "replay.conn") so chaos runs can exercise
+	// the replayer's own failure handling.
+	Faults *faults.Injector
 }
 
 // ReplayReport summarizes a replay.
@@ -210,6 +219,11 @@ func Replay(entries []Entry, opts ReplayOptions) (ReplayReport, error) {
 	if concurrency <= 0 {
 		concurrency = 8
 	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	injector := opts.Faults
 	start := time.Now()
 	var report ReplayReport
 
@@ -230,19 +244,28 @@ func Replay(entries []Entry, opts ReplayOptions) (ReplayReport, error) {
 			for j := range jobs {
 				var errC, misC int64
 				if conn == nil {
-					c, err := net.DialTimeout("tcp", opts.Addr, 2*time.Second)
+					if ferr := injector.Fail("replay.dial"); ferr != nil {
+						results <- [2]int64{1, 0}
+						continue
+					}
+					c, err := net.DialTimeout("tcp", opts.Addr, timeout)
 					if err != nil {
 						results <- [2]int64{1, 0}
 						continue
 					}
-					conn = c
+					conn = injector.Conn("replay.conn", c)
 					br = bufio.NewReader(conn)
 				}
 				req := &httpx.Request{
 					Method: j.e.Method, Target: j.e.Path, Path: j.e.Path,
 					Proto: httpx.Proto11, Header: httpx.NewHeader("Host", "replay"),
 				}
-				err := httpx.WriteRequest(conn, req)
+				// Per-request deadline: one slow response must not wedge
+				// the worker (and the whole replay) indefinitely.
+				err := conn.SetDeadline(time.Now().Add(timeout))
+				if err == nil {
+					err = httpx.WriteRequest(conn, req)
+				}
 				var resp *httpx.Response
 				if err == nil {
 					resp, err = httpx.ReadResponse(br)
