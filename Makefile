@@ -12,7 +12,7 @@ BENCH_CACHE = BenchmarkDistributorCacheHit|BenchmarkDistributorCacheColdMiss|Ben
 # untraced relay.
 BENCH_TELEMETRY = BenchmarkTelemetryObserve|BenchmarkDistributorRelayTraced
 
-.PHONY: all vet lint build test race chaos bench allocguard ci
+.PHONY: all vet lint build test race chaos sim bench allocguard ci
 
 all: ci
 
@@ -50,6 +50,12 @@ race:
 # CHAOS_SEED=<n> make chaos to replay a failing schedule.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v .
+
+# Scenario smoke: the compressed flash-crowd recovery check plus the
+# byte-determinism replay, both under the race detector. The day-long
+# acceptance run stays in plain `make test` (it needs no -race).
+sim:
+	$(GO) test -race -run 'TestScenarioDeterministicReplay|TestScenarioFlashCrowdRecovery|TestExampleScenarioFilesMatchBuiltins' -v .
 
 # Hot-path benchmarks with allocation counts, archived as JSON so runs can
 # be diffed across commits (BENCH_relay.json and BENCH_cache.json are the

@@ -1,0 +1,106 @@
+// Command simrun replays a declarative workload scenario against the
+// simulated cluster and writes the per-interval timeline as CSV — the
+// day-long evaluation harness behind the scenario test suite.
+//
+// Usage:
+//
+//	simrun -scenario day -out timeline.csv
+//	simrun -spec examples/scenarios/flashcrowd.json -time-scale 20 -out -
+//
+// Built-in scenarios: day (24 h diurnal curve with a flash crowd and a
+// maintenance window over Workload B), flash-crowd (sustained hot-shift
+// surge the auto-replication planner must absorb). A JSON spec file
+// (-spec) overrides -scenario; see DESIGN.md §12 for the schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"webcluster/internal/sim"
+	"webcluster/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "day", "built-in scenario name (day|flash-crowd)")
+	specFile := flag.String("spec", "", "JSON workload-spec file (overrides -scenario)")
+	out := flag.String("out", "timeline.csv", "timeline CSV path (- for stdout)")
+	seed := flag.Int64("seed", 0, "override the spec's seed (0 = keep)")
+	timeScale := flag.Float64("time-scale", 0, "override the spec's time compression (0 = keep)")
+	interval := flag.Duration("interval", 0, "override the timeline aggregation interval (0 = keep)")
+	scheme := flag.String("scheme", "partition", "placement scheme (partition|full-replication|nfs)")
+	autobalance := flag.Bool("autobalance", true, "run the auto-replication planner each interval")
+	quiet := flag.Bool("q", false, "suppress the summary on stderr")
+	flag.Parse()
+
+	if err := run(*scenario, *specFile, *out, *seed, *timeScale, *interval, *scheme, *autobalance, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, specFile, out string, seed int64, timeScale float64, interval time.Duration, scheme string, autobalance, quiet bool) error {
+	var spec *workload.Spec
+	var err error
+	if specFile != "" {
+		spec, err = workload.LoadSpec(specFile)
+	} else {
+		spec, err = workload.BuiltinScenario(scenario)
+	}
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	if timeScale > 0 {
+		spec.TimeScale = timeScale
+	}
+	if interval > 0 {
+		spec.Interval = workload.Duration(interval)
+	}
+
+	opts := sim.DefaultScenarioOptions()
+	opts.AutoBalance = autobalance
+	switch scheme {
+	case "partition":
+		opts.Scheme = sim.SchemePartition
+	case "full-replication":
+		opts.Scheme = sim.SchemeFullReplication
+	case "nfs":
+		opts.Scheme = sim.SchemeNFS
+	default:
+		return fmt.Errorf("unknown scheme %q (want partition|full-replication|nfs)", scheme)
+	}
+
+	wallStart := time.Now()
+	timeline, err := sim.RunScenario(spec, opts)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(wallStart)
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := timeline.WriteCSV(w); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprint(os.Stderr, timeline.Summary())
+		factor := float64(timeline.VirtualDuration) / float64(wall)
+		fmt.Fprintf(os.Stderr, "  wall %v (%.0fx time compression)\n", wall.Round(time.Millisecond), factor)
+		if out != "-" {
+			fmt.Fprintf(os.Stderr, "  timeline written to %s\n", out)
+		}
+	}
+	return nil
+}

@@ -143,11 +143,14 @@ func (l Level) String() string {
 // Classify labels each node against the cluster average: above
 // avg×(1+threshold) is overloaded, below avg×(1−threshold) is
 // underutilized (§3.3). A zero average (idle interval) yields all-balanced.
+// The average is summed in sorted node order so identical inputs always
+// classify identically (map-order float summation could flip a node
+// sitting exactly on a threshold between runs).
 func Classify(loads map[config.NodeID]float64, threshold float64) map[config.NodeID]Level {
 	out := make(map[config.NodeID]Level, len(loads))
 	var sum float64
-	for _, l := range loads {
-		sum += l
+	for _, id := range SortedNodes(loads) {
+		sum += loads[id]
 	}
 	avg := sum / float64(len(loads))
 	for id, l := range loads {

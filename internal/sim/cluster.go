@@ -144,7 +144,7 @@ func (f *Frontend) pick(obj content.Object) (*Node, error) {
 		candidates = make([]loadbal.NodeState, 0, len(rec.Locations))
 		for _, id := range rec.Locations {
 			n, ok := f.byID[id]
-			if !ok {
+			if !ok || n.down {
 				continue
 			}
 			candidates = append(candidates, loadbal.NodeState{
@@ -156,6 +156,9 @@ func (f *Frontend) pick(obj content.Object) (*Node, error) {
 	} else {
 		candidates = make([]loadbal.NodeState, 0, len(f.nodes))
 		for _, n := range f.nodes {
+			if n.down {
+				continue
+			}
 			candidates = append(candidates, loadbal.NodeState{
 				ID:     n.Spec.ID,
 				Weight: n.Spec.EffectiveWeight(),

@@ -91,24 +91,50 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
 // Run executes events in order until the queue empties or virtual time
 // would exceed until; it returns the virtual time reached.
 func (e *Engine) Run(until time.Duration) time.Duration {
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.at > until {
+	for e.HasPendingEvents() {
+		next, _ := e.PeekNextEventTime()
+		if next > until {
 			e.now = until
 			return e.now
 		}
-		popped, ok := heap.Pop(&e.heap).(*event)
-		if !ok {
-			panic("sim: event heap corrupted")
-		}
-		e.now = popped.at
-		e.executed++
-		popped.run()
+		e.ProcessNextEvent()
 	}
 	if e.now < until {
 		e.now = until
 	}
 	return e.now
+}
+
+// HasPendingEvents reports whether any event is queued. Together with
+// PeekNextEventTime and ProcessNextEvent it lets an outer loop (a scenario
+// runner, a multi-engine shared clock, or a test) drive the clock one
+// event at a time instead of committing to a whole Run horizon.
+func (e *Engine) HasPendingEvents() bool { return len(e.heap) > 0 }
+
+// PeekNextEventTime returns the virtual time of the earliest queued event
+// without running it. ok is false when the queue is empty.
+func (e *Engine) PeekNextEventTime() (at time.Duration, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// ProcessNextEvent pops the earliest queued event, advances the clock to
+// its timestamp and runs it. It returns false (leaving the clock
+// untouched) when the queue is empty.
+func (e *Engine) ProcessNextEvent() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	popped, ok := heap.Pop(&e.heap).(*event)
+	if !ok {
+		panic("sim: event heap corrupted")
+	}
+	e.now = popped.at
+	e.executed++
+	popped.run()
+	return true
 }
 
 // Pending returns the number of queued events.

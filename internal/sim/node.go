@@ -40,6 +40,11 @@ type Node struct {
 	// Active is the in-flight request count the pickers read.
 	Active int64
 
+	// down marks the node out of service (scheduled maintenance or a
+	// failure event): the front end stops routing to it while in-flight
+	// requests drain normally.
+	down bool
+
 	served    uint64
 	notFound  uint64
 	classReqs map[content.Class]uint64
@@ -91,6 +96,14 @@ func (n *Node) Has(path string) bool { return n.allContent || n.placed[path] }
 
 // UseNFS wires the shared file server for non-local content.
 func (n *Node) UseNFS(nfs *NFSNode) { n.nfs = nfs }
+
+// SetDown marks the node in or out of service. A down node receives no
+// new requests; whatever is in flight drains normally (maintenance
+// semantics, not a crash).
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports whether the node is out of service.
+func (n *Node) Down() bool { return n.down }
 
 // CacheStats exposes the page-cache counters.
 func (n *Node) CacheStats() cache.Stats { return n.pageCache.Stats() }

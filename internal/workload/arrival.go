@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Open-loop arrival processes. The scenario layer schedules one request
+// per drawn inter-arrival gap, independent of response completion — the
+// regime flash crowds and diurnal curves live in, which the closed-loop
+// WebBench clients cannot express (a closed loop self-throttles exactly
+// when the interesting overload would begin).
+
+// Arrival process names accepted in workload specs.
+const (
+	ProcessPoisson = "poisson"
+	ProcessGamma   = "gamma"
+	ProcessWeibull = "weibull"
+	// ProcessClosed is the classic closed-loop client pool, kept for
+	// steady-state comparisons against the paper's WebBench setup.
+	ProcessClosed = "closed"
+)
+
+// Sampler draws unit-mean inter-arrival intervals; the scenario layer
+// divides by the instantaneous arrival rate, so one sampler serves a
+// whole diurnal curve. Deterministic for a given seed; single-goroutine.
+type Sampler interface {
+	// Next returns the next inter-arrival gap in units of the mean
+	// (expected value 1).
+	Next() float64
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// NewSampler builds the sampler for an arrival spec. Only open-loop
+// processes have samplers; ProcessClosed is rejected.
+func NewSampler(a ArrivalSpec, seed int64) (Sampler, error) {
+	switch a.Process {
+	case ProcessPoisson:
+		return NewPoisson(seed), nil
+	case ProcessGamma:
+		cv := a.CV
+		if cv == 0 {
+			cv = 1
+		}
+		return NewGamma(cv, seed)
+	case ProcessWeibull:
+		shape := a.Shape
+		if shape == 0 {
+			shape = 1
+		}
+		return NewWeibull(shape, seed)
+	case ProcessClosed:
+		return nil, fmt.Errorf("workload: closed-loop arrivals have no sampler")
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival process %q", a.Process)
+	}
+}
+
+// Poisson draws exponential inter-arrivals (a memoryless Poisson arrival
+// stream). Construct with NewPoisson.
+type Poisson struct {
+	rng *rand.Rand
+}
+
+// NewPoisson returns a Poisson sampler.
+func NewPoisson(seed int64) *Poisson {
+	return &Poisson{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Sampler.
+func (p *Poisson) Next() float64 { return p.rng.ExpFloat64() }
+
+// Name implements Sampler.
+func (p *Poisson) Name() string { return ProcessPoisson }
+
+// Gamma draws gamma-distributed inter-arrivals with the given coefficient
+// of variation: cv > 1 is burstier than Poisson (clustered arrivals with
+// long gaps), cv < 1 is more regular. Construct with NewGamma.
+type Gamma struct {
+	shape float64 // k = 1/cv²; unit mean ⇒ scale = 1/k
+	rng   *rand.Rand
+}
+
+// NewGamma returns a gamma sampler with unit mean and the given CV.
+func NewGamma(cv float64, seed int64) (*Gamma, error) {
+	if cv <= 0 {
+		return nil, fmt.Errorf("workload: non-positive gamma cv %g", cv)
+	}
+	return &Gamma{shape: 1 / (cv * cv), rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next implements Sampler.
+func (g *Gamma) Next() float64 { return gammaSample(g.rng, g.shape) / g.shape }
+
+// Name implements Sampler.
+func (g *Gamma) Name() string { return ProcessGamma }
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang squeeze, with the
+// standard U^(1/k) boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Weibull draws Weibull-distributed inter-arrivals with the given shape:
+// shape < 1 gives heavy-tailed bursty gaps, shape > 1 near-deterministic
+// pacing. Construct with NewWeibull.
+type Weibull struct {
+	shape float64
+	scale float64 // chosen so the mean is 1: 1/Γ(1+1/shape)
+	rng   *rand.Rand
+}
+
+// NewWeibull returns a Weibull sampler with unit mean and the given shape.
+func NewWeibull(shape float64, seed int64) (*Weibull, error) {
+	if shape <= 0 {
+		return nil, fmt.Errorf("workload: non-positive weibull shape %g", shape)
+	}
+	return &Weibull{
+		shape: shape,
+		scale: 1 / math.Gamma(1+1/shape),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next implements Sampler.
+func (w *Weibull) Next() float64 {
+	u := w.rng.Float64()
+	for u == 0 {
+		u = w.rng.Float64()
+	}
+	return w.scale * math.Pow(-math.Log(u), 1/w.shape)
+}
+
+// Name implements Sampler.
+func (w *Weibull) Name() string { return ProcessWeibull }
+
+// Gap converts a unit-mean sample into an inter-arrival duration at the
+// given instantaneous rate (requests per second). Rates at or below zero
+// are clamped to ratePerSecFloor so a diurnal curve touching zero idles
+// instead of dividing by zero.
+func Gap(sample, ratePerSec float64) time.Duration {
+	if ratePerSec < ratePerSecFloor {
+		ratePerSec = ratePerSecFloor
+	}
+	return time.Duration(sample / ratePerSec * float64(time.Second))
+}
+
+// ratePerSecFloor bounds how idle a rate curve can make a class: one
+// request per ~28 virtual hours.
+const ratePerSecFloor = 1e-5

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// sampleStats draws n gaps and returns their mean and coefficient of
+// variation.
+func sampleStats(t *testing.T, s Sampler, n int) (mean, cv float64) {
+	t.Helper()
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Next()
+		if v < 0 {
+			t.Fatalf("%s sample %d is negative: %g", s.Name(), i, v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+// All samplers are normalized to unit mean: the scenario driver divides a
+// sample by the instantaneous rate, so any bias here is a rate bias.
+func TestSamplerMeans(t *testing.T) {
+	const n = 200000
+	cases := []struct {
+		name string
+		spec ArrivalSpec
+	}{
+		{"poisson", ArrivalSpec{Process: ProcessPoisson}},
+		{"gamma-cv0.5", ArrivalSpec{Process: ProcessGamma, CV: 0.5}},
+		{"gamma-cv1", ArrivalSpec{Process: ProcessGamma, CV: 1}},
+		{"gamma-cv2.5", ArrivalSpec{Process: ProcessGamma, CV: 2.5}},
+		{"weibull-shape0.7", ArrivalSpec{Process: ProcessWeibull, Shape: 0.7}},
+		{"weibull-shape1", ArrivalSpec{Process: ProcessWeibull, Shape: 1}},
+		{"weibull-shape2", ArrivalSpec{Process: ProcessWeibull, Shape: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSampler(tc.spec, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean, _ := sampleStats(t, s, n)
+			// High-CV gamma mixes in very heavy draws, so its sample mean
+			// converges slowest; 3% covers it at n=200k with margin.
+			if math.Abs(mean-1) > 0.03 {
+				t.Fatalf("mean = %.4f, want 1 ± 0.03", mean)
+			}
+		})
+	}
+}
+
+// The gamma sampler exists to model bursty crawler traffic: its CV must
+// actually track the requested CV, not just its mean.
+func TestGammaCV(t *testing.T) {
+	for _, want := range []float64{0.5, 1.0, 2.0} {
+		g, err := NewGamma(want, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cv := sampleStats(t, g, 400000)
+		if math.Abs(cv-want)/want > 0.05 {
+			t.Fatalf("cv(%g) sample = %.4f, want within 5%%", want, cv)
+		}
+	}
+}
+
+// Weibull shape <1 is over-dispersed, >1 under-dispersed relative to
+// exponential — the property the api class's burstiness relies on.
+func TestWeibullDispersion(t *testing.T) {
+	under, err := NewWeibull(0.7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := NewWeibull(2.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cvUnder := sampleStats(t, under, 200000)
+	_, cvOver := sampleStats(t, over, 200000)
+	if cvUnder <= 1.05 {
+		t.Fatalf("weibull shape 0.7 cv = %.3f, want > 1", cvUnder)
+	}
+	if cvOver >= 0.95 {
+		t.Fatalf("weibull shape 2.0 cv = %.3f, want < 1", cvOver)
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Process: ProcessPoisson},
+		{Process: ProcessGamma, CV: 2.5},
+		{Process: ProcessWeibull, Shape: 0.7},
+	} {
+		a, err := NewSampler(spec, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSampler(spec, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if x, y := a.Next(), b.Next(); x != y {
+				t.Fatalf("%s sample %d diverged with equal seeds: %g vs %g", spec.Process, i, x, y)
+			}
+		}
+	}
+}
+
+func TestNewSamplerErrors(t *testing.T) {
+	if _, err := NewSampler(ArrivalSpec{Process: ProcessClosed}, 1); err == nil {
+		t.Fatal("closed-loop spec should not produce a sampler")
+	}
+	if _, err := NewSampler(ArrivalSpec{Process: "pareto"}, 1); err == nil {
+		t.Fatal("unknown process should be rejected")
+	}
+	if _, err := NewGamma(-1, 1); err == nil {
+		t.Fatal("negative cv should be rejected")
+	}
+	if _, err := NewWeibull(-1, 1); err == nil {
+		t.Fatal("negative shape should be rejected")
+	}
+}
+
+func TestGap(t *testing.T) {
+	if got := Gap(1.0, 100); got != 10*time.Millisecond {
+		t.Fatalf("Gap(1, 100/s) = %v, want 10ms", got)
+	}
+	if got := Gap(0.5, 50); got != 10*time.Millisecond {
+		t.Fatalf("Gap(0.5, 50/s) = %v, want 10ms", got)
+	}
+	// A zero or negative instantaneous rate (a diurnal curve touching
+	// zero) must clamp to the floor instead of dividing by zero.
+	floor := ratePerSecFloor // ~28h gap at the 1e-5/s floor
+	floorGap := time.Duration(float64(time.Second) / floor)
+	if got := Gap(1.0, 0); got <= 0 || got > 2*floorGap {
+		t.Fatalf("Gap at zero rate = %v, want a large finite gap", got)
+	}
+}
+
+// Chi-square goodness of fit: the Zipf sampler's empirical rank
+// frequencies must match the analytic distribution it claims to draw
+// from. 50 ranks → 49 degrees of freedom; the α=0.001 critical value is
+// 85.4, so a pass bound of 90 gives a vanishing false-failure rate while
+// still catching an off-by-one or mis-normalized CDF immediately.
+func TestZipfChiSquare(t *testing.T) {
+	const (
+		ranks = 50
+		draws = 200000
+	)
+	z, err := NewZipf(ranks, 0.9, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, ranks)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	var chi2 float64
+	for i := 0; i < ranks; i++ {
+		expected := float64(draws) * z.Probability(i)
+		if expected < 5 {
+			t.Fatalf("rank %d expectation %.2f too small for a chi-square test; raise draws", i, expected)
+		}
+		d := float64(counts[i]) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 90 {
+		t.Fatalf("chi-square = %.1f over %d ranks, exceeds 90 (α≈0.001 for df=49): empirical Zipf diverges from analytic", chi2, ranks)
+	}
+}
+
+func TestPermutationBijection(t *testing.T) {
+	p, err := NewPermutation(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PromoteRandom(10)
+	p.Shuffle(0.3)
+	p.Shuffle(1)
+	seen := make(map[int]bool, 100)
+	for r := 0; r < 100; r++ {
+		obj := p.Apply(r)
+		if obj < 0 || obj >= 100 {
+			t.Fatalf("rank %d maps outside the site: %d", r, obj)
+		}
+		if seen[obj] {
+			t.Fatalf("object %d appears at two ranks — permutation broken", obj)
+		}
+		seen[obj] = true
+	}
+}
+
+func TestPromoteRandomBringsColdObjects(t *testing.T) {
+	const n, k = 200, 8
+	p, err := NewPermutation(n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, k)
+	for i := 0; i < k; i++ {
+		before[i] = p.Apply(i)
+	}
+	promoted := p.PromoteRandom(k)
+	if len(promoted) != k {
+		t.Fatalf("promoted %d objects, want %d", len(promoted), k)
+	}
+	for i, obj := range promoted {
+		if p.Apply(i) != obj {
+			t.Fatalf("promoted object %d not at rank %d", obj, i)
+		}
+		for _, b := range before {
+			if obj == b {
+				t.Fatalf("object %d was already in the top-%d; flash crowd must bring cold content", obj, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Declarative scenario specs: a JSON document describing a day (or any
+// window) of traffic against a simulated cluster — multiple client
+// classes with their own arrival processes and popularity skews, a
+// diurnal rate curve, and a timeline of events (flash crowds, popularity
+// churn, node maintenance). The sim package replays a Spec on the
+// discrete-event engine; cmd/simrun replays one from the command line.
+
+// Duration is a time.Duration that marshals as a string ("90s", "24h").
+// JSON numbers are accepted as seconds.
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	switch val := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("invalid duration %q", val)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(time.Duration(val * float64(time.Second)))
+	default:
+		return fmt.Errorf("duration must be a string or a number of seconds, got %T", v)
+	}
+	return nil
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name labels the scenario in reports and CSV headers.
+	Name string `json:"name"`
+	// Seed drives every random stream (site, samplers, events).
+	Seed int64 `json:"seed"`
+	// Workload selects the site mix: "A" (static) or "B" (static +
+	// dynamic + video), matching the paper's §5.1 workloads.
+	Workload string `json:"workload"`
+	// Objects sizes the generated site.
+	Objects int `json:"objects"`
+	// Duration is the simulated span (virtual time, before TimeScale).
+	Duration Duration `json:"duration"`
+	// Interval is the timeline aggregation granularity (default 1m).
+	Interval Duration `json:"interval,omitempty"`
+	// TimeScale compresses the scenario's *shape* for quick runs: all
+	// durations — Duration, Interval, event times, rate-curve knots —
+	// are divided by it while per-second rates stay untouched, so load
+	// levels and queueing behaviour are preserved and only the exposure
+	// shrinks. 0 means 1 (no compression).
+	TimeScale float64 `json:"timeScale,omitempty"`
+	// RateCurve is the diurnal multiplier applied to every open-loop
+	// class's rate, interpolated piecewise-linearly between knots.
+	// Empty means a flat 1.0.
+	RateCurve []RatePoint `json:"rateCurve,omitempty"`
+	// Classes are the client populations.
+	Classes []ClassSpec `json:"classes"`
+	// Events is the scenario timeline.
+	Events []EventSpec `json:"events,omitempty"`
+}
+
+// ClassSpec is one client class.
+type ClassSpec struct {
+	// ID names the class.
+	ID string `json:"id"`
+	// Arrival selects and parameterizes the arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// ZipfS is the class's popularity skew (0 = DefaultZipfS).
+	ZipfS float64 `json:"zipfS,omitempty"`
+	// Seed offsets this class's random streams from Spec.Seed; classes
+	// with equal offsets still differ (the class index is mixed in).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ArrivalSpec parameterizes a class's request arrivals.
+type ArrivalSpec struct {
+	// Process is poisson | gamma | weibull | closed.
+	Process string `json:"process"`
+	// RatePerSec is the open-loop base arrival rate.
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	// CV is the gamma process's coefficient of variation (0 = 1).
+	CV float64 `json:"cv,omitempty"`
+	// Shape is the weibull shape (0 = 1).
+	Shape float64 `json:"shape,omitempty"`
+	// Clients is the closed-loop population size.
+	Clients int `json:"clients,omitempty"`
+	// Think is the closed-loop per-request think time.
+	Think Duration `json:"think,omitempty"`
+}
+
+// RatePoint is one knot of the diurnal curve.
+type RatePoint struct {
+	At Duration `json:"at"`
+	// X is the rate multiplier at that instant.
+	X float64 `json:"x"`
+}
+
+// Event kinds understood by the scenario runner.
+const (
+	// EventRate multiplies arrival rates (one class or all) by X,
+	// reverting after Duration when set.
+	EventRate = "rate"
+	// EventFlashCrowd promotes HotObjects cold objects into the top
+	// ranks and applies an X rate surge for Duration (X 0 = no surge).
+	EventFlashCrowd = "flash-crowd"
+	// EventChurn reshuffles Fraction of the popularity ranking
+	// (0 or ≥1 = full re-rank).
+	EventChurn = "churn"
+	// EventNodeDown takes a node out of routing (maintenance/failure).
+	EventNodeDown = "node-down"
+	// EventNodeUp returns a node to routing.
+	EventNodeUp = "node-up"
+)
+
+// EventSpec is one timeline event.
+type EventSpec struct {
+	// At is when the event fires (before TimeScale).
+	At Duration `json:"at"`
+	// Kind selects the event type.
+	Kind string `json:"kind"`
+	// Class scopes EventRate to one class ID; empty means all classes.
+	Class string `json:"class,omitempty"`
+	// X is the rate multiplier for EventRate/EventFlashCrowd.
+	X float64 `json:"x,omitempty"`
+	// Duration bounds EventRate / the EventFlashCrowd surge; 0 means
+	// the change is permanent.
+	Duration Duration `json:"duration,omitempty"`
+	// HotObjects is the EventFlashCrowd promotion count.
+	HotObjects int `json:"hotObjects,omitempty"`
+	// Fraction is the EventChurn re-rank share.
+	Fraction float64 `json:"fraction,omitempty"`
+	// Node is the EventNodeDown/EventNodeUp target.
+	Node string `json:"node,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON scenario spec. Syntax and type
+// errors are reported with the line:column of the offending byte; semantic
+// errors name the field path (e.g. classes[1].arrival.ratePerSec).
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, positionError(data, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("workload spec: trailing data after document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a scenario spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload spec: %w", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// positionError rewrites json decode errors to carry line:column.
+func positionError(data []byte, err error) error {
+	var offset int64 = -1
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		offset = syn.Offset
+	case errors.As(err, &typ):
+		offset = typ.Offset
+	}
+	if offset < 0 {
+		return fmt.Errorf("workload spec: %w", err)
+	}
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	line, col := 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("workload spec: %d:%d: %w", line, col, err)
+}
+
+// Validate checks the spec's semantics, naming the offending field path.
+func (s *Spec) Validate() error {
+	bad := func(path, format string, args ...any) error {
+		return fmt.Errorf("workload spec: %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	switch s.Workload {
+	case "A", "B":
+	case "":
+		return bad("workload", "missing (want \"A\" or \"B\")")
+	default:
+		return bad("workload", "unknown kind %q (want \"A\" or \"B\")", s.Workload)
+	}
+	if s.Objects <= 0 {
+		return bad("objects", "non-positive site size %d", s.Objects)
+	}
+	if s.Duration <= 0 {
+		return bad("duration", "non-positive duration %v", s.Duration.D())
+	}
+	if s.Interval < 0 {
+		return bad("interval", "negative interval %v", s.Interval.D())
+	}
+	if s.TimeScale < 0 {
+		return bad("timeScale", "negative time scale %g", s.TimeScale)
+	}
+	if len(s.Classes) == 0 {
+		return bad("classes", "at least one client class is required")
+	}
+	for i, rp := range s.RateCurve {
+		path := fmt.Sprintf("rateCurve[%d]", i)
+		if rp.At < 0 {
+			return bad(path+".at", "negative time %v", rp.At.D())
+		}
+		if rp.X < 0 {
+			return bad(path+".x", "negative multiplier %g", rp.X)
+		}
+		if i > 0 && rp.At <= s.RateCurve[i-1].At {
+			return bad(path+".at", "knots must be strictly increasing")
+		}
+	}
+	seen := make(map[string]bool, len(s.Classes))
+	for i, c := range s.Classes {
+		path := fmt.Sprintf("classes[%d]", i)
+		if c.ID == "" {
+			return bad(path+".id", "missing class id")
+		}
+		if seen[c.ID] {
+			return bad(path+".id", "duplicate class id %q", c.ID)
+		}
+		seen[c.ID] = true
+		if c.ZipfS < 0 {
+			return bad(path+".zipfS", "negative zipf exponent %g", c.ZipfS)
+		}
+		a := c.Arrival
+		switch a.Process {
+		case ProcessPoisson, ProcessGamma, ProcessWeibull:
+			if a.RatePerSec <= 0 {
+				return bad(path+".arrival.ratePerSec", "open-loop class needs a positive rate, got %g", a.RatePerSec)
+			}
+			if a.CV < 0 {
+				return bad(path+".arrival.cv", "negative cv %g", a.CV)
+			}
+			if a.Shape < 0 {
+				return bad(path+".arrival.shape", "negative shape %g", a.Shape)
+			}
+			if a.Clients != 0 {
+				return bad(path+".arrival.clients", "clients is a closed-loop field")
+			}
+		case ProcessClosed:
+			if a.Clients <= 0 {
+				return bad(path+".arrival.clients", "closed-loop class needs a positive client count, got %d", a.Clients)
+			}
+			if a.RatePerSec != 0 {
+				return bad(path+".arrival.ratePerSec", "ratePerSec is an open-loop field")
+			}
+			if a.Think < 0 {
+				return bad(path+".arrival.think", "negative think time %v", a.Think.D())
+			}
+		case "":
+			return bad(path+".arrival.process", "missing arrival process")
+		default:
+			return bad(path+".arrival.process", "unknown process %q (want poisson|gamma|weibull|closed)", a.Process)
+		}
+	}
+	for i, e := range s.Events {
+		path := fmt.Sprintf("events[%d]", i)
+		if e.At < 0 {
+			return bad(path+".at", "negative time %v", e.At.D())
+		}
+		if e.At > s.Duration {
+			return bad(path+".at", "event at %v is beyond duration %v", e.At.D(), s.Duration.D())
+		}
+		if e.Duration < 0 {
+			return bad(path+".duration", "negative duration %v", e.Duration.D())
+		}
+		switch e.Kind {
+		case EventRate:
+			if e.X <= 0 {
+				return bad(path+".x", "rate event needs a positive multiplier, got %g", e.X)
+			}
+			if e.Class != "" && !seen[e.Class] {
+				return bad(path+".class", "unknown class %q", e.Class)
+			}
+		case EventFlashCrowd:
+			if e.HotObjects <= 0 {
+				return bad(path+".hotObjects", "flash crowd needs a positive hot-object count, got %d", e.HotObjects)
+			}
+			if e.HotObjects > s.Objects {
+				return bad(path+".hotObjects", "hot-object count %d exceeds site size %d", e.HotObjects, s.Objects)
+			}
+			if e.X < 0 {
+				return bad(path+".x", "negative surge multiplier %g", e.X)
+			}
+		case EventChurn:
+			if e.Fraction < 0 || e.Fraction > 1 {
+				return bad(path+".fraction", "churn fraction %g outside [0,1]", e.Fraction)
+			}
+		case EventNodeDown, EventNodeUp:
+			if e.Node == "" {
+				return bad(path+".node", "missing node id")
+			}
+		case "":
+			return bad(path+".kind", "missing event kind")
+		default:
+			return bad(path+".kind", "unknown kind %q", e.Kind)
+		}
+	}
+	return nil
+}
+
+// Kind returns the site workload kind.
+func (s *Spec) Kind() Kind {
+	if s.Workload == "B" {
+		return KindB
+	}
+	return KindA
+}
+
+// EffectiveTimeScale returns TimeScale with the zero default applied.
+func (s *Spec) EffectiveTimeScale() float64 {
+	if s.TimeScale <= 0 {
+		return 1
+	}
+	return s.TimeScale
+}
+
+// EffectiveInterval returns the aggregation interval with its default.
+func (s *Spec) EffectiveInterval() time.Duration {
+	if s.Interval <= 0 {
+		return time.Minute
+	}
+	return s.Interval.D()
+}
+
+// CurveMultiplier evaluates the diurnal curve at virtual time t (in
+// pre-TimeScale coordinates), interpolating linearly between knots and
+// clamping to the first/last knot outside their span.
+func (s *Spec) CurveMultiplier(t time.Duration) float64 {
+	if len(s.RateCurve) == 0 {
+		return 1
+	}
+	first := s.RateCurve[0]
+	if t <= first.At.D() {
+		return first.X
+	}
+	for i := 1; i < len(s.RateCurve); i++ {
+		a, b := s.RateCurve[i-1], s.RateCurve[i]
+		if t <= b.At.D() {
+			span := b.At.D() - a.At.D()
+			if span <= 0 {
+				return b.X
+			}
+			frac := float64(t-a.At.D()) / float64(span)
+			return a.X + frac*(b.X-a.X)
+		}
+	}
+	return s.RateCurve[len(s.RateCurve)-1].X
+}
+
+// DayScenario is the built-in 24-hour diurnal evaluation: three open-loop
+// client classes over a Workload B site, a day-shaped rate curve, morning
+// maintenance on one fast node, midday flash crowd, and two popularity
+// churn points. At these rates the day carries over a million requests;
+// the discrete-event clock compresses it to seconds of wall time.
+func DayScenario() *Spec {
+	return &Spec{
+		Name:     "day",
+		Seed:     1,
+		Workload: "B",
+		Objects:  4000,
+		Duration: Duration(24 * time.Hour),
+		Interval: Duration(5 * time.Minute),
+		RateCurve: []RatePoint{
+			{At: 0, X: 0.45},
+			{At: Duration(3 * time.Hour), X: 0.25},
+			{At: Duration(7 * time.Hour), X: 0.8},
+			{At: Duration(12 * time.Hour), X: 1.4},
+			{At: Duration(17 * time.Hour), X: 1.8},
+			{At: Duration(21 * time.Hour), X: 1.0},
+			{At: Duration(24 * time.Hour), X: 0.45},
+		},
+		Classes: []ClassSpec{
+			{ID: "browsers", Arrival: ArrivalSpec{Process: ProcessPoisson, RatePerSec: 9}, ZipfS: 0.9},
+			{ID: "crawlers", Arrival: ArrivalSpec{Process: ProcessGamma, RatePerSec: 3, CV: 2.5}, ZipfS: 0.4},
+			{ID: "api", Arrival: ArrivalSpec{Process: ProcessWeibull, RatePerSec: 3, Shape: 0.7}, ZipfS: 1.1},
+		},
+		Events: []EventSpec{
+			{At: Duration(2 * time.Hour), Kind: EventNodeDown, Node: "n6-350"},
+			{At: Duration(2*time.Hour + 45*time.Minute), Kind: EventNodeUp, Node: "n6-350"},
+			{At: Duration(6 * time.Hour), Kind: EventChurn, Fraction: 0.3},
+			{At: Duration(13 * time.Hour), Kind: EventFlashCrowd, HotObjects: 24, X: 3, Duration: Duration(40 * time.Minute)},
+			{At: Duration(19 * time.Hour), Kind: EventChurn, Fraction: 0.25},
+		},
+	}
+}
+
+// FlashCrowdScenario is the built-in CI smoke: steady Poisson traffic, a
+// sudden hot-object shift with a sustained rate surge, then the surge
+// subsiding while the shifted popularity stays — the auto-replication
+// planner must spread the new hot set for throughput to recover to the
+// pre-spike level.
+func FlashCrowdScenario() *Spec {
+	return &Spec{
+		Name:     "flash-crowd",
+		Seed:     7,
+		Workload: "A",
+		Objects:  2000,
+		Duration: Duration(40 * time.Minute),
+		Interval: Duration(2 * time.Minute),
+		Classes: []ClassSpec{
+			{ID: "browsers", Arrival: ArrivalSpec{Process: ProcessPoisson, RatePerSec: 500}, ZipfS: 0.9},
+		},
+		Events: []EventSpec{
+			{At: Duration(14 * time.Minute), Kind: EventFlashCrowd, HotObjects: 6, X: 9, Duration: Duration(6 * time.Minute)},
+		},
+	}
+}
+
+// BuiltinScenario returns a named built-in spec.
+func BuiltinScenario(name string) (*Spec, error) {
+	switch name {
+	case "day":
+		return DayScenario(), nil
+	case "flash-crowd":
+		return FlashCrowdScenario(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown built-in scenario %q (want day|flash-crowd)", name)
+	}
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+const validSpecJSON = `{
+  "name": "golden",
+  "seed": 42,
+  "workload": "B",
+  "objects": 500,
+  "duration": "30m",
+  "interval": "2m",
+  "timeScale": 4,
+  "rateCurve": [
+    {"at": "0s", "x": 0.5},
+    {"at": "15m", "x": 1.5},
+    {"at": "30m", "x": 0.5}
+  ],
+  "classes": [
+    {"id": "browsers", "arrival": {"process": "poisson", "ratePerSec": 120}, "zipfS": 0.9},
+    {"id": "crawlers", "arrival": {"process": "gamma", "ratePerSec": 10, "cv": 2.5}, "zipfS": 0.4, "seed": 3},
+    {"id": "kiosk", "arrival": {"process": "closed", "clients": 20, "think": "500ms"}}
+  ],
+  "events": [
+    {"at": "10m", "kind": "flash-crowd", "hotObjects": 12, "x": 3, "duration": "5m"},
+    {"at": "20m", "kind": "churn", "fraction": 0.25},
+    {"at": "22m", "kind": "node-down", "node": "n6-350"},
+    {"at": "26m", "kind": "node-up", "node": "n6-350"},
+    {"at": "28m", "kind": "rate", "class": "crawlers", "x": 0.1}
+  ]
+}`
+
+func TestParseSpecGolden(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "golden" || s.Seed != 42 || s.Workload != "B" || s.Objects != 500 {
+		t.Fatalf("header fields wrong: %+v", s)
+	}
+	if s.Duration.D() != 30*time.Minute || s.Interval.D() != 2*time.Minute || s.TimeScale != 4 {
+		t.Fatalf("time fields wrong: duration %v interval %v scale %g", s.Duration.D(), s.Interval.D(), s.TimeScale)
+	}
+	if len(s.Classes) != 3 || len(s.Events) != 5 || len(s.RateCurve) != 3 {
+		t.Fatalf("sections wrong: %d classes, %d events, %d knots", len(s.Classes), len(s.Events), len(s.RateCurve))
+	}
+	if c := s.Classes[1]; c.Arrival.Process != ProcessGamma || c.Arrival.CV != 2.5 || c.Seed != 3 {
+		t.Fatalf("crawlers class wrong: %+v", c)
+	}
+	if c := s.Classes[2]; c.Arrival.Process != ProcessClosed || c.Arrival.Clients != 20 || c.Arrival.Think.D() != 500*time.Millisecond {
+		t.Fatalf("kiosk class wrong: %+v", c)
+	}
+	if e := s.Events[0]; e.Kind != EventFlashCrowd || e.HotObjects != 12 || e.X != 3 || e.Duration.D() != 5*time.Minute {
+		t.Fatalf("flash-crowd event wrong: %+v", e)
+	}
+}
+
+// Round trip: marshal the parsed spec back to JSON and reparse — the two
+// structs must be identical, so nothing is lost or silently defaulted in
+// either direction.
+func TestSpecRoundTrip(t *testing.T) {
+	first, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(first, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("reparse of marshaled spec: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("round trip changed the spec:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// Semantic errors must name the offending field path so a spec author can
+// find the line without a JSON schema validator.
+func TestParseSpecSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(s *Spec)
+		wantSub string
+	}{
+		{"negative rate", func(s *Spec) { s.Classes[0].Arrival.RatePerSec = -5 }, "classes[0].arrival.ratePerSec"},
+		{"unknown process", func(s *Spec) { s.Classes[1].Arrival.Process = "pareto" }, `classes[1].arrival.process: unknown process "pareto"`},
+		{"missing class", func(s *Spec) { s.Classes = nil }, "classes: at least one"},
+		{"duplicate class id", func(s *Spec) { s.Classes[1].ID = s.Classes[0].ID }, "classes[1].id: duplicate"},
+		{"missing workload", func(s *Spec) { s.Workload = "" }, "workload: missing"},
+		{"zero objects", func(s *Spec) { s.Objects = 0 }, "objects"},
+		{"negative curve knot", func(s *Spec) { s.RateCurve[1].X = -1 }, "rateCurve[1].x"},
+		{"non-increasing knots", func(s *Spec) { s.RateCurve[1].At = 0 }, "rateCurve[1].at"},
+		{"closed without clients", func(s *Spec) { s.Classes[2].Arrival.Clients = 0 }, "classes[2].arrival.clients"},
+		{"event past end", func(s *Spec) { s.Events[0].At = Duration(2 * time.Hour) }, "events[0].at"},
+		{"unknown event kind", func(s *Spec) { s.Events[1].Kind = "meteor" }, `events[1].kind: unknown kind "meteor"`},
+		{"flash crowd too hot", func(s *Spec) { s.Events[0].HotObjects = 10000 }, "events[0].hotObjects"},
+		{"node event without node", func(s *Spec) { s.Events[2].Node = "" }, "events[2].node"},
+		{"churn fraction out of range", func(s *Spec) { s.Events[1].Fraction = 1.5 }, "events[1].fraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseSpec([]byte(validSpecJSON))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(s)
+			err = s.Validate()
+			if err == nil {
+				t.Fatal("mutated spec validated cleanly")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// Syntax and type errors must carry line:column of the offending byte.
+func TestParseSpecPositionalErrors(t *testing.T) {
+	pos := regexp.MustCompile(`workload spec: \d+:\d+:`)
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"syntax", "{\n  \"name\": \"x\",\n  \"seed\": ,\n}"},
+		{"wrong type", "{\n  \"workload\": \"A\",\n  \"objects\": \"many\"\n}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.src))
+			if err == nil {
+				t.Fatal("malformed spec parsed cleanly")
+			}
+			if !pos.MatchString(err.Error()) {
+				t.Fatalf("error %q lacks a line:column position", err)
+			}
+		})
+	}
+	// The syntax error above sits on line 3.
+	if _, err := ParseSpec([]byte(cases[0].src)); !strings.Contains(err.Error(), "3:") {
+		t.Fatalf("error %q should point at line 3", err)
+	}
+}
+
+func TestParseSpecRejectsUnknownFieldsAndTrailing(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"workload": "A", "objects": 1, "duration": "1m", "classses": []}`)); err == nil || !strings.Contains(err.Error(), "classses") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+	if _, err := ParseSpec([]byte(validSpecJSON + "\n{}")); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing document not rejected: %v", err)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"90s"`), &d); err != nil || d.D() != 90*time.Second {
+		t.Fatalf(`"90s" -> %v, %v`, d.D(), err)
+	}
+	if err := json.Unmarshal([]byte(`2.5`), &d); err != nil || d.D() != 2500*time.Millisecond {
+		t.Fatalf(`2.5 -> %v, %v (numbers are seconds)`, d.D(), err)
+	}
+	if err := json.Unmarshal([]byte(`"fortnight"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+	if err := json.Unmarshal([]byte(`true`), &d); err == nil {
+		t.Fatal("bool duration accepted")
+	}
+	out, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil || string(out) != `"1m30s"` {
+		t.Fatalf("marshal = %s, %v", out, err)
+	}
+}
+
+func TestCurveMultiplier(t *testing.T) {
+	s := &Spec{RateCurve: []RatePoint{
+		{At: 0, X: 0.5},
+		{At: Duration(10 * time.Minute), X: 1.5},
+		{At: Duration(20 * time.Minute), X: 1.0},
+	}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0.5},
+		{5 * time.Minute, 1.0},  // midpoint of the first segment
+		{10 * time.Minute, 1.5}, // exactly on a knot
+		{15 * time.Minute, 1.25},
+		{25 * time.Minute, 1.0}, // past the last knot: hold
+	}
+	for _, tc := range cases {
+		if got := s.CurveMultiplier(tc.at); got != tc.want {
+			t.Fatalf("CurveMultiplier(%v) = %g, want %g", tc.at, got, tc.want)
+		}
+	}
+	flat := &Spec{}
+	if got := flat.CurveMultiplier(time.Hour); got != 1 {
+		t.Fatalf("empty curve multiplier = %g, want 1", got)
+	}
+}
+
+// The built-in scenarios are the CI entry points; they must always
+// validate against their own schema.
+func TestBuiltinScenariosValidate(t *testing.T) {
+	for _, name := range []string{"day", "flash-crowd"} {
+		s, err := BuiltinScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("built-in %q fails its own validation: %v", name, err)
+		}
+	}
+	if _, err := BuiltinScenario("nope"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	day := DayScenario()
+	if day.Duration.D() != 24*time.Hour {
+		t.Fatalf("day scenario spans %v, want 24h", day.Duration.D())
+	}
+}

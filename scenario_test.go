@@ -1,0 +1,187 @@
+package webcluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"webcluster/internal/sim"
+	"webcluster/internal/workload"
+)
+
+// renderCSV replays spec and returns the timeline plus its exact CSV
+// bytes.
+func renderCSV(t *testing.T, spec *workload.Spec) (*sim.Timeline, []byte) {
+	t.Helper()
+	tl, err := sim.RunScenario(spec, sim.DefaultScenarioOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tl, buf.Bytes()
+}
+
+// Determinism regression: the scenario layer promises that one (spec,
+// seed) pair replays to a byte-identical timeline CSV — the property the
+// whole golden-file methodology and CHAOS_SEED-style replay debugging
+// rest on. Run under -race in CI to also prove the replay is data-race
+// free.
+func TestScenarioDeterministicReplay(t *testing.T) {
+	spec := workload.FlashCrowdScenario()
+	spec.TimeScale = 16 // 2.5 min virtual: quick enough to replay three times under -race
+
+	_, first := renderCSV(t, spec)
+	_, second := renderCSV(t, spec)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same spec and seed produced different timelines:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", first, second)
+	}
+
+	reseeded := workload.FlashCrowdScenario()
+	reseeded.TimeScale = 16
+	reseeded.Seed = spec.Seed + 1
+	_, third := renderCSV(t, reseeded)
+	if bytes.Equal(first, third) {
+		t.Fatal("different seeds produced byte-identical timelines — the seed is not reaching the random streams")
+	}
+}
+
+// The CI smoke behind `make sim`: a compressed flash crowd saturates the
+// cluster, and the §3.3 auto-replication planner must spread the new hot
+// set so throughput recovers to the pre-spike level.
+func TestScenarioFlashCrowdRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flash-crowd recovery runs via `make sim` and plain `make test`; -short keeps it out of the race sweep")
+	}
+	spec := workload.FlashCrowdScenario()
+	spec.TimeScale = 2 // rates (and therefore saturation) are preserved; only exposure shrinks
+
+	tl, csv := renderCSV(t, spec)
+	if len(tl.Points) != 20 {
+		t.Fatalf("40m at 2m intervals should yield 20 points, got %d", len(tl.Points))
+	}
+	if !strings.HasPrefix(string(csv), sim.TimelineCSVHeader+"\n") {
+		t.Fatalf("CSV missing the published header:\n%s", csv[:120])
+	}
+
+	// The surge occupies intervals 7–9 (14m–20m of the 40m span).
+	pre := tl.MeanRPS(0, 7)
+	surge := tl.MeanRPS(7, 10)
+	post := tl.MeanRPS(10, -1)
+	if pre < 400 || pre > 600 {
+		t.Fatalf("pre-spike throughput %.1f req/s, want ~500", pre)
+	}
+	if surge < 4*pre {
+		t.Fatalf("surge throughput %.1f req/s vs pre %.1f — the ×9 flash crowd is not arriving", surge, pre)
+	}
+	// Saturation evidence: queueing during the surge pushes p99 far past
+	// the steady-state tail.
+	var preP99, surgeP99 time.Duration
+	for _, p := range tl.Points[:7] {
+		if p.P99 > preP99 {
+			preP99 = p.P99
+		}
+	}
+	for _, p := range tl.Points[7:10] {
+		if p.P99 > surgeP99 {
+			surgeP99 = p.P99
+		}
+	}
+	if surgeP99 < 5*preP99 {
+		t.Fatalf("surge p99 %v vs pre-spike %v — the spike never stressed the cluster", surgeP99, preP99)
+	}
+	// The planner reacted: the promoted hot set gained replicas.
+	if last, first := tl.Points[len(tl.Points)-1].Replicas, tl.Points[0].Replicas; last <= first {
+		t.Fatalf("replica count %d → %d: auto-replication never acted", first, last)
+	}
+	// And the headline assertion: post-spike throughput within 20% of
+	// pre-spike.
+	if diff := (post - pre) / pre; diff < -0.2 || diff > 0.2 {
+		t.Fatalf("post-spike throughput %.1f req/s is %+.0f%% of pre-spike %.1f — did not recover", post, diff*100, pre)
+	}
+	if tl.TotalErrors != 0 {
+		t.Fatalf("%d requests errored during the flash crowd", tl.TotalErrors)
+	}
+}
+
+// The acceptance bar from the issue: a 24 h diurnal scenario with over a
+// million simulated requests — flash crowd and maintenance window
+// included — must complete in well under a minute of wall time and emit
+// a full timeline.
+func TestScenarioDayLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("day-long scenario skipped in -short mode")
+	}
+	start := time.Now()
+	tl, csv := renderCSV(t, workload.DayScenario())
+	wall := time.Since(start)
+
+	if wall > 60*time.Second {
+		t.Fatalf("24h scenario took %v of wall time, must stay under 60s", wall)
+	}
+	if tl.TotalRequests < 1_000_000 {
+		t.Fatalf("day scenario served %d requests, acceptance needs ≥ 1M", tl.TotalRequests)
+	}
+	if tl.VirtualDuration != 24*time.Hour {
+		t.Fatalf("virtual span %v, want 24h", tl.VirtualDuration)
+	}
+	if len(tl.Points) != 288 {
+		t.Fatalf("24h at 5m intervals should yield 288 points, got %d", len(tl.Points))
+	}
+	if lines := bytes.Count(csv, []byte("\n")); lines != 289 {
+		t.Fatalf("CSV has %d lines, want header + 288 rows", lines)
+	}
+
+	// The maintenance window (n6-350 down 2h–2h45m) must be visible in
+	// the down_nodes column and nowhere else.
+	for _, p := range tl.Points {
+		inWindow := p.End > 2*time.Hour && p.End <= 2*time.Hour+45*time.Minute
+		if inWindow && p.DownNodes != 1 {
+			t.Fatalf("interval ending %v is inside the maintenance window but reports %d down nodes", p.End, p.DownNodes)
+		}
+		if !inWindow && p.DownNodes != 0 {
+			t.Fatalf("interval ending %v reports %d down nodes outside the window", p.End, p.DownNodes)
+		}
+	}
+
+	// The 13h flash crowd (×3 on top of the afternoon curve) must show
+	// up as a throughput step against the hour before it.
+	calm := tl.MeanRPS(144, 156)  // 12h–13h
+	spike := tl.MeanRPS(156, 164) // 13h–13h40m
+	if spike < 2*calm {
+		t.Fatalf("flash-crowd hour runs at %.1f req/s vs %.1f before it — the surge is missing", spike, calm)
+	}
+
+	// Diurnal shape: the overnight trough must be far below the evening
+	// peak (curve knots 0.25 vs 1.8).
+	night := tl.MeanRPS(36, 48)     // 3h–4h
+	evening := tl.MeanRPS(216, 228) // 18h–19h
+	if night >= evening/2 {
+		t.Fatalf("diurnal curve flat: night %.1f req/s vs evening %.1f", night, evening)
+	}
+}
+
+// The example spec files in examples/scenarios/ are documentation that
+// must never drift from the built-ins they mirror.
+func TestExampleScenarioFilesMatchBuiltins(t *testing.T) {
+	cases := []struct {
+		path string
+		want *workload.Spec
+	}{
+		{"examples/scenarios/day.json", workload.DayScenario()},
+		{"examples/scenarios/flashcrowd.json", workload.FlashCrowdScenario()},
+	}
+	for _, tc := range cases {
+		got, err := workload.LoadSpec(tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s drifted from its built-in:\nfile:    %+v\nbuiltin: %+v", tc.path, got, tc.want)
+		}
+	}
+}
