@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmarks covered by `make bench` — the relay/routing fast path.
-BENCH_HOT = BenchmarkDistributorRelay$$|BenchmarkDistributorRelayLarge|BenchmarkURLTableLookup|BenchmarkHTTPParse|BenchmarkConnPool|BenchmarkMappingTable
+BENCH_HOT = BenchmarkDistributorRelay$$|BenchmarkDistributorRelayLarge|BenchmarkDistributorRelayParallel|BenchmarkURLTableLookup|BenchmarkHTTPParse|BenchmarkConnPool|BenchmarkMappingTable
 
 # Response-cache benchmarks, archived separately (BENCH_cache.json): hit,
 # cold miss, and coalesced miss through the live distributor.
@@ -71,13 +71,17 @@ bench:
 		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
 	@cat BENCH_telemetry.json
 
-# Allocation regression gate: a fast -benchtime=100x pass is enough,
-# because allocs/op is deterministic; benchguard fails when the relay
-# fast path allocates more than the archived snapshot allows.
+# Regression gates. A fast -benchtime=100x pass is enough for the
+# allocs/op gate because allocation counts are deterministic; the
+# throughput (MB/s) gate on the large-body relay runs at the default
+# benchtime so the number is meaningful, and fails when mb_per_sec drops
+# more than 10% below the archived snapshot.
 allocguard:
 	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelay$$' -benchtime=100x -benchmem . \
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_relay.json
 	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelayTraced$$' -benchtime=100x -benchmem . \
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_telemetry.json
+	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelayLarge' -benchmem . \
+		| $(GO) run ./cmd/benchguard -snapshot BENCH_relay.json
 
 ci: vet lint build test race allocguard

@@ -1,15 +1,20 @@
 // Command benchguard compares `go test -bench -benchmem` text output on
 // stdin against an archived snapshot (BENCH_relay.json) and exits
-// non-zero when a benchmark's allocs/op regresses past the tolerance.
-// Allocation counts are deterministic even at -benchtime=100x, so CI can
-// run a fast smoke pass and still catch fast-path regressions:
+// non-zero when a benchmark regresses past tolerance. Two gates run per
+// benchmark name present in both the input and the snapshot:
+//
+//   - allocs/op may not increase past -tolerance over the snapshot.
+//     Allocation counts are deterministic even at -benchtime=100x, so CI
+//     can run a fast smoke pass and still catch fast-path regressions.
+//   - MB/s (for benchmarks that call b.SetBytes) may not drop more than
+//     -mbps-tolerance (a fraction; 0.10 = 10%) below the snapshot.
+//     Throughput is only meaningful at real benchtimes, so the MB/s gate
+//     is skipped automatically when the input carries no MB/s column.
+//
+// Example:
 //
 //	go test -run '^$' -bench 'BenchmarkDistributorRelay$' \
 //	    -benchtime=100x -benchmem . | benchguard -snapshot BENCH_relay.json
-//
-// Only benchmarks present in both the input and the snapshot with a
-// recorded allocs/op are compared; timings are ignored (they are noisy at
-// smoke benchtimes).
 package main
 
 import (
@@ -25,13 +30,23 @@ import (
 // snapshotEntry mirrors the fields benchguard needs from the JSON that
 // cmd/benchjson archives.
 type snapshotEntry struct {
-	Name        string `json:"name"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
+	Name        string  `json:"name"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// measurement is one parsed benchmark result line from stdin. hasAllocs
+// distinguishes a genuine 0 allocs/op from a missing -benchmem column.
+type measurement struct {
+	allocs    int64
+	hasAllocs bool
+	mbPerSec  float64
 }
 
 func main() {
 	snapshot := flag.String("snapshot", "BENCH_relay.json", "archived benchmark JSON to compare against")
 	tolerance := flag.Int64("tolerance", 2, "allowed allocs/op increase over the snapshot")
+	mbpsTol := flag.Float64("mbps-tolerance", 0.10, "allowed fractional MB/s drop below the snapshot")
 	flag.Parse()
 
 	baseline, err := readSnapshot(*snapshot)
@@ -46,19 +61,32 @@ func main() {
 	}
 
 	compared, failures := 0, 0
-	for name, allocs := range current {
+	for name, m := range current {
 		base, ok := baseline[name]
 		if !ok {
 			continue
 		}
-		compared++
-		if allocs > base+*tolerance {
-			failures++
-			fmt.Fprintf(os.Stderr, "benchguard: %s: %d allocs/op, snapshot %d (tolerance +%d)\n",
-				name, allocs, base, *tolerance)
-			continue
+		if m.hasAllocs && base.AllocsPerOp > 0 {
+			compared++
+			if m.allocs > base.AllocsPerOp+*tolerance {
+				failures++
+				fmt.Fprintf(os.Stderr, "benchguard: %s: %d allocs/op, snapshot %d (tolerance +%d)\n",
+					name, m.allocs, base.AllocsPerOp, *tolerance)
+			} else {
+				fmt.Printf("benchguard: %s: %d allocs/op (snapshot %d) ok\n", name, m.allocs, base.AllocsPerOp)
+			}
 		}
-		fmt.Printf("benchguard: %s: %d allocs/op (snapshot %d) ok\n", name, allocs, base)
+		if m.mbPerSec > 0 && base.MBPerSec > 0 {
+			compared++
+			floor := base.MBPerSec * (1 - *mbpsTol)
+			if m.mbPerSec < floor {
+				failures++
+				fmt.Fprintf(os.Stderr, "benchguard: %s: %.2f MB/s, snapshot %.2f (floor %.2f at -%.0f%%)\n",
+					name, m.mbPerSec, base.MBPerSec, floor, *mbpsTol*100)
+			} else {
+				fmt.Printf("benchguard: %s: %.2f MB/s (snapshot %.2f) ok\n", name, m.mbPerSec, base.MBPerSec)
+			}
+		}
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: no benchmarks in common with the snapshot")
@@ -70,8 +98,8 @@ func main() {
 }
 
 // readSnapshot loads the archived results, keeping entries that recorded
-// an allocation count.
-func readSnapshot(path string) (map[string]int64, error) {
+// an allocation count or a throughput figure.
+func readSnapshot(path string) (map[string]snapshotEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -80,20 +108,20 @@ func readSnapshot(path string) (map[string]int64, error) {
 	if err := json.Unmarshal(data, &entries); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	out := make(map[string]int64, len(entries))
+	out := make(map[string]snapshotEntry, len(entries))
 	for _, e := range entries {
-		if e.AllocsPerOp > 0 {
-			out[e.Name] = e.AllocsPerOp
+		if e.AllocsPerOp > 0 || e.MBPerSec > 0 {
+			out[e.Name] = e
 		}
 	}
 	return out, nil
 }
 
-// parseBench extracts name → allocs/op from benchmark result lines,
-// skipping lines with no allocs/op column.
-func parseBench(sc *bufio.Scanner) (map[string]int64, error) {
+// parseBench extracts name → {allocs/op, MB/s} from benchmark result
+// lines, skipping columns a line does not carry.
+func parseBench(sc *bufio.Scanner) (map[string]measurement, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	out := make(map[string]int64)
+	out := make(map[string]measurement)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -106,15 +134,25 @@ func parseBench(sc *bufio.Scanner) (map[string]int64, error) {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
 			continue
 		}
+		var m measurement
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "allocs/op" {
-				continue
+			switch fields[i+1] {
+			case "allocs/op":
+				allocs, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%q: bad allocs/op %q", line, fields[i])
+				}
+				m.allocs, m.hasAllocs = allocs, true
+			case "MB/s":
+				mbps, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%q: bad MB/s %q", line, fields[i])
+				}
+				m.mbPerSec = mbps
 			}
-			allocs, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%q: bad allocs/op %q", line, fields[i])
-			}
-			out[trimProcSuffix(fields[0])] = allocs
+		}
+		if m.hasAllocs || m.mbPerSec > 0 {
+			out[trimProcSuffix(fields[0])] = m
 		}
 	}
 	return out, sc.Err()

@@ -17,6 +17,7 @@ import (
 	_ "net/http/pprof" // registered on the -pprof server's mux only
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -39,6 +40,7 @@ func main() {
 	replAddr := flag.String("repl", "", "state-replication listen address (for backups)")
 	backupOf := flag.String("backup-of", "", "run as backup of the primary replicating at this address")
 	prefork := flag.Int("prefork", 4, "pre-forked connections per node")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "accept/relay shards (per-core data-plane partitions; 1 = unsharded)")
 	balanceEvery := flag.Duration("balance", 0, "auto-balance interval (0 = off)")
 	cacheMB := flag.Int64("cache-mb", 0, "front-end response cache budget in MiB (0 = off)")
 	cacheFresh := flag.Duration("cache-fresh", 5*time.Second, "response-cache freshness TTL")
@@ -61,7 +63,7 @@ func main() {
 	}
 	cacheOpts := cacheConfig{mb: *cacheMB, fresh: *cacheFresh, stale: *cacheStale}
 	telCfg := telConfig{admin: *adminAddr, slow: *slowMs}
-	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *balanceEvery, cacheOpts, telCfg); err != nil {
+	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *shards, *balanceEvery, cacheOpts, telCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "distributor:", err)
 		os.Exit(1)
 	}
@@ -79,7 +81,7 @@ type telConfig struct {
 	slow  time.Duration
 }
 
-func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork int, balanceEvery time.Duration, cacheCfg cacheConfig, telCfg telConfig) error {
+func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork, shards int, balanceEvery time.Duration, cacheCfg cacheConfig, telCfg telConfig) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -125,6 +127,7 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 		Table:          table,
 		Cluster:        spec,
 		PreforkPerNode: prefork,
+		Shards:         shards,
 		Telemetry:      tel,
 	}
 	if logWriter != nil {

@@ -1,0 +1,46 @@
+package conntrack
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// spliceBufSize sizes the fallback copy buffers for relays that cannot use
+// the kernel fast path.
+const spliceBufSize = 256 << 10
+
+// spliceBufs pools fallback copy buffers so a non-TCP relay (fault
+// wrappers, tests) allocates nothing per connection.
+var spliceBufs = sync.Pool{New: func() any {
+	b := make([]byte, spliceBufSize)
+	return &b
+}}
+
+// CanSplice reports whether relaying src into dst hits the kernel
+// zero-copy path: both ends must be real *net.TCPConn values. Wrapped
+// connections (fault injection, TLS, test doubles) intentionally fail
+// this check — unwrapping them would move bytes the wrapper never sees
+// and silently bypass injected faults.
+func CanSplice(dst io.Writer, src io.Reader) bool {
+	_, dok := dst.(*net.TCPConn)
+	_, sok := src.(*net.TCPConn)
+	return dok && sok
+}
+
+// SpliceStreams relays src into dst until EOF or error, returning the
+// bytes moved. On a *net.TCPConn pair it uses TCPConn.ReadFrom, which the
+// runtime lowers to splice(2) (or sendfile) so the payload never crosses
+// into user space. Every other pairing takes a pooled-buffer copy so
+// fault-injection wrappers keep observing (and perturbing) the stream.
+func SpliceStreams(dst io.Writer, src io.Reader) (int64, error) {
+	if tdst, ok := dst.(*net.TCPConn); ok {
+		if tsrc, ok := src.(*net.TCPConn); ok {
+			return tdst.ReadFrom(tsrc)
+		}
+	}
+	bufp := spliceBufs.Get().(*[]byte)
+	n, err := io.CopyBuffer(struct{ io.Writer }{dst}, struct{ io.Reader }{src}, *bufp)
+	spliceBufs.Put(bufp)
+	return n, err
+}

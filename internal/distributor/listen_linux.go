@@ -1,0 +1,57 @@
+//go:build linux
+
+package distributor
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT; the legacy syscall package predates it, so
+// the constant is defined here (linux-only file, value is ABI-stable).
+const soReusePort = 0xf
+
+// listenShards opens the distributor's accept sockets. With n > 1 it
+// binds n SO_REUSEPORT listeners to the same address so the kernel hashes
+// incoming connections across them (one accept queue per shard, no
+// thundering herd, no cross-CPU handoff at accept time). An ephemeral
+// ":0" request binds the first listener ephemerally and the rest to the
+// concrete port it got. If the REUSEPORT group cannot be assembled (old
+// kernel, exotic socket type) it degrades to a single shared listener —
+// Start then runs striped accept loops instead.
+func listenShards(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{l}, nil
+	}
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	first, err := lc.Listen(context.Background(), "tcp", addr)
+	if err != nil {
+		return listenSingle(addr)
+	}
+	listeners := []net.Listener{first}
+	concrete := first.Addr().String()
+	for i := 1; i < n; i++ {
+		l, err := lc.Listen(context.Background(), "tcp", concrete)
+		if err != nil {
+			for _, prev := range listeners {
+				_ = prev.Close()
+			}
+			return listenSingle(addr)
+		}
+		listeners = append(listeners, l)
+	}
+	return listeners, nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package distributor
+
+import "net"
+
+// listenShards opens the distributor's accept sockets. Without a portable
+// SO_REUSEPORT story this platform always gets one shared listener;
+// Start runs one striped accept goroutine per shard on it.
+func listenShards(addr string, n int) ([]net.Listener, error) {
+	return listenSingle(addr)
+}

@@ -459,65 +459,44 @@ func grow(b []byte, n int64) []byte {
 	return make([]byte, n)
 }
 
-// WriteRequest serializes req to w in wire format.
-func WriteRequest(w io.Writer, req *Request) error {
-	bw := acquireWriter(w)
-	defer releaseWriter(bw)
-	writeRequestHead(bw, req, req.Proto)
-	if len(req.Body) > 0 {
-		_, _ = bw.Write(req.Body)
-	}
-	if err := bw.Flush(); err != nil {
+// WriteRequest serializes req to w in wire format: the request head is
+// staged into a pooled buffer and goes out together with the body as one
+// vectored write.
+func (p *Pools) WriteRequest(w io.Writer, req *Request) error {
+	hb := p.acquireHeaderBuf()
+	defer p.releaseHeaderBuf(hb)
+	head := appendRequestHead((*hb)[:0], req, req.Proto)
+	*hb = head[:0]
+	if _, err := p.writeVectored(w, head, req.Body); err != nil {
 		return fmt.Errorf("writing request: %w", err)
 	}
 	return nil
 }
 
+// WriteRequest is Pools.WriteRequest on the default pool set.
+func WriteRequest(w io.Writer, req *Request) error {
+	return defaultPools.WriteRequest(w, req)
+}
+
 // WriteProxyRequest forwards req toward a back end: the request is written
 // as HTTP/1.1 (so the pre-forked persistent connection survives the
 // exchange) with the hop-by-hop Connection header dropped on the wire —
-// no header clone, no mutation of req.
-func WriteProxyRequest(w io.Writer, req *Request) error {
-	bw := acquireWriter(w)
-	defer releaseWriter(bw)
-	writeRequestHead(bw, req, Proto11)
-	if len(req.Body) > 0 {
-		_, _ = bw.Write(req.Body)
-	}
-	if err := bw.Flush(); err != nil {
+// no header clone, no mutation of req. Head and body leave in one
+// vectored write.
+func (p *Pools) WriteProxyRequest(w io.Writer, req *Request) error {
+	hb := p.acquireHeaderBuf()
+	defer p.releaseHeaderBuf(hb)
+	head := appendRequestHead((*hb)[:0], req, Proto11)
+	*hb = head[:0]
+	if _, err := p.writeVectored(w, head, req.Body); err != nil {
 		return fmt.Errorf("forwarding request: %w", err)
 	}
 	return nil
 }
 
-// writeRequestHead emits the request line and header section. When written
-// as a proxy request (proto differs from req.Proto) the Connection header
-// is dropped; when a body is present Content-Length is recomputed.
-func writeRequestHead(bw *bufio.Writer, req *Request, proto string) {
-	_, _ = bw.WriteString(req.Method)
-	_ = bw.WriteByte(' ')
-	_, _ = bw.WriteString(req.Target)
-	_ = bw.WriteByte(' ')
-	_, _ = bw.WriteString(proto)
-	_, _ = bw.WriteString("\r\n")
-	skipConn := ""
-	if proto != req.Proto {
-		skipConn = "Connection"
-	}
-	if len(req.Body) > 0 {
-		req.Header.writeFields(bw, "Content-Length", skipConn)
-		_, _ = bw.WriteString("Content-Length: ")
-		writeInt(bw, int64(len(req.Body)))
-		_, _ = bw.WriteString("\r\n")
-	} else {
-		req.Header.writeFields(bw, skipConn, "")
-	}
-	if req.TraceID != 0 {
-		_, _ = bw.WriteString("X-Dist-Trace: ")
-		writeHex(bw, req.TraceID)
-		_, _ = bw.WriteString("\r\n")
-	}
-	_, _ = bw.WriteString("\r\n")
+// WriteProxyRequest is Pools.WriteProxyRequest on the default pool set.
+func WriteProxyRequest(w io.Writer, req *Request) error {
+	return defaultPools.WriteProxyRequest(w, req)
 }
 
 // Response is a parsed or to-be-written HTTP response.

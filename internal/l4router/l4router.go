@@ -10,13 +10,13 @@ package l4router
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"webcluster/internal/config"
+	"webcluster/internal/conntrack"
 	"webcluster/internal/faults"
 	"webcluster/internal/loadbal"
 )
@@ -187,20 +187,27 @@ func (r *Router) proxy(client net.Conn) {
 
 	// Bidirectional splice; each direction half-closes when its source
 	// reaches EOF, mirroring TCP FIN propagation through a L4 device.
+	// With no fault injector both ends are bare *net.TCPConn values, so
+	// SpliceStreams moves bytes via the kernel splice(2) fast path; a
+	// wrapped end ("l4router.server") takes the pooled-buffer fallback
+	// so injected faults stay observable.
 	done := make(chan struct{}, 2)
 	go func() {
 		// The splice is intentionally deadline-free: an idle but healthy
 		// client may hold its connection open indefinitely, and lifetime
 		// is bounded by Close/CloseWrite propagation from either side.
+		// (Audited for relay v3: the suppression covers only this dialed
+		// conn's deadline-before-I/O rule; the dial itself stays behind
+		// DialTimeout and the l4router.dial fault point above.)
 		//distlint:ignore deadlinecheck L4 splice lifetime is bounded by peer close, not deadlines
-		_, _ = io.Copy(server, client)
+		_, _ = conntrack.SpliceStreams(server, client)
 		if tc, ok := server.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
 		done <- struct{}{}
 	}()
 	go func() {
-		_, _ = io.Copy(client, server)
+		_, _ = conntrack.SpliceStreams(client, server)
 		if tc, ok := client.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}

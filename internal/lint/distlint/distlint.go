@@ -1,4 +1,4 @@
-// Package distlint assembles the repo's analyzer suite: the five checks
+// Package distlint assembles the repo's analyzer suite: the six checks
 // that machine-enforce the concurrency and data-path invariants the
 // fast-path PRs introduced (see DESIGN.md §10), the per-package scoping
 // rules, and the one sanctioned suppression form
@@ -24,6 +24,7 @@ import (
 	"webcluster/internal/lint/load"
 	"webcluster/internal/lint/lockscope"
 	"webcluster/internal/lint/pooledescape"
+	"webcluster/internal/lint/shardaffinity"
 )
 
 // Finding is one reported (unsuppressed) diagnostic.
@@ -45,6 +46,7 @@ func Suite() []*analysis.Analyzer {
 		deadlinecheck.Analyzer,
 		faulthook.Analyzer,
 		lockscope.Analyzer,
+		shardaffinity.Analyzer,
 	}
 }
 
@@ -53,7 +55,9 @@ func Suite() []*analysis.Analyzer {
 // scoped to the layers that own outbound connections: the paper's data
 // plane (distributor/conntrack/backend/nfs/l4router) plus, for
 // deadlines, the management plane and monitor whose wedged calls the
-// chaos suite exercises.
+// chaos suite exercises. shardaffinity is scoped to the sharded data
+// plane; httpx itself is exempt so its process-wide defaultPools (the
+// pool set for callers without a shard) stays legal.
 var scopes = map[string][]string{
 	"deadlinecheck": {
 		"internal/distributor",
@@ -62,6 +66,12 @@ var scopes = map[string][]string{
 		"internal/conntrack",
 		"internal/l4router",
 		"internal/nfs",
+		"internal/core",
+	},
+	"shardaffinity": {
+		"internal/distributor",
+		"internal/conntrack",
+		"internal/l4router",
 		"internal/core",
 	},
 	"faulthook": {

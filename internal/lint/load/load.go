@@ -9,6 +9,7 @@ package load
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -147,6 +148,13 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 			continue
 		}
 		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and _GOOS/_GOARCH
+		// name suffixes) for the host platform, so platform-split files
+		// like the distributor's listen_linux.go/listen_other.go pair
+		// don't load as a redeclaration.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,216 @@
+// Package shardaffinity enforces the per-core partitioning the relay v3
+// fast path depends on: a pool set marked `distlint:pershard` (httpx.Pools
+// and friends) is owned by exactly one shard, so its buffers stay
+// core-local instead of bouncing between CPUs. Two ways of breaking that
+// ownership are flagged:
+//
+//   - a per-shard value stored in a package-level variable — a global is
+//     by definition shared by every shard, defeating the partitioning
+//     (the owning package's own process-wide default, e.g. httpx's
+//     defaultPools, is exempt via the suite's scoping rules);
+//   - a value acquired from one per-shard instance and released to a
+//     different one — `r := a.AcquireReader(c)` … `b.ReleaseReader(r)`
+//     silently migrates the buffer between shards, and under load turns
+//     the per-shard pools back into one contended global.
+//
+// Marker recognition mirrors cowdiscipline: a `distlint:pershard` marker
+// in the type's doc comment (visible when the declaring package is the
+// one analyzed) or an empty method named PerShardMarker (visible through
+// the type checker everywhere).
+package shardaffinity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"webcluster/internal/lint/analysis"
+	"webcluster/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardaffinity",
+	Doc: "check that per-shard pool sets (distlint:pershard) are never " +
+		"stored in globals and that acquired values are released back to " +
+		"the instance they came from",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := markedTypes(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkGlobal(pass, d, marked)
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkFunc(pass, d, marked)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// markedTypes collects named types whose declaration doc contains a
+// `distlint:pershard` marker in the package being analyzed.
+func markedTypes(pass *analysis.Pass) map[string]bool {
+	marked := make(map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc != nil && strings.Contains(doc.Text(), "distlint:pershard") {
+					marked[pass.Pkg.Path()+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// perShard reports whether t (through pointers, slices, arrays and map
+// values) reaches a type carrying the distlint:pershard marker.
+func perShard(t types.Type, marked map[string]bool) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return perShard(u.Elem(), marked)
+	case *types.Slice:
+		return perShard(u.Elem(), marked)
+	case *types.Array:
+		return perShard(u.Elem(), marked)
+	case *types.Map:
+		return perShard(u.Elem(), marked)
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if marked[obj.Pkg().Path()+"."+obj.Name()] {
+		return true
+	}
+	for i := 0; i < n.NumMethods(); i++ {
+		if n.Method(i).Name() == "PerShardMarker" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGlobal flags package-level vars holding per-shard values.
+func checkGlobal(pass *analysis.Pass, gd *ast.GenDecl, marked map[string]bool) {
+	if gd.Tok.String() != "var" {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := lintutil.ObjectOf(pass.TypesInfo, name)
+			if obj == nil {
+				continue
+			}
+			if perShard(obj.Type(), marked) {
+				pass.Reportf(name.Pos(), "per-shard value %q stored in a package-level var; a global is shared by every shard — keep it inside the shard struct", name.Name)
+			}
+		}
+	}
+}
+
+// poolCall matches recv.AcquireX(...) / recv.ReleaseX(...) calls on a
+// per-shard receiver, returning the receiver's root object.
+func poolCall(pass *analysis.Pass, call *ast.CallExpr, prefix string, marked map[string]bool) (types.Object, bool) {
+	name := lintutil.CalleeName(call)
+	if !strings.HasPrefix(name, prefix) && !strings.HasPrefix(name, strings.ToLower(prefix)) {
+		return nil, false
+	}
+	recv := lintutil.Receiver(call)
+	if recv == nil {
+		return nil, false
+	}
+	t := lintutil.TypeOf(pass.TypesInfo, recv)
+	if t == nil || !perShard(t, marked) {
+		return nil, false
+	}
+	root := lintutil.RootIdent(recv)
+	if root == nil {
+		return nil, false
+	}
+	return lintutil.ObjectOf(pass.TypesInfo, root), true
+}
+
+// checkFunc flags values acquired from one per-shard instance and
+// released to another within the same function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, marked map[string]bool) {
+	// origin maps each variable bound to an Acquire result to the root
+	// object of the pool it was acquired from.
+	origin := make(map[types.Object]types.Object)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pool, ok := poolCall(pass, call, "Acquire", marked)
+		if !ok || pool == nil {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := lintutil.ObjectOf(pass.TypesInfo, id); obj != nil {
+				origin[obj] = pool
+			}
+		}
+		return true
+	})
+	if len(origin) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pool, ok := poolCall(pass, call, "Release", marked)
+		if !ok || pool == nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := lintutil.ObjectOf(pass.TypesInfo, id)
+			if obj == nil {
+				continue
+			}
+			if from, tracked := origin[obj]; tracked && from != pool {
+				pass.Reportf(arg.Pos(), "%q was acquired from %q but released to %q; per-shard values must go back to the pool set they came from", id.Name, from.Name(), pool.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package shardaffinity_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/linttest"
+	"webcluster/internal/lint/shardaffinity"
+)
+
+func TestShardAffinity(t *testing.T) {
+	linttest.Run(t, "testdata/a", shardaffinity.Analyzer)
+}

@@ -1,0 +1,76 @@
+// Fixture for the shardaffinity analyzer: per-shard pool sets stored in
+// package-level vars (flagged), cross-instance release (flagged), and
+// the sanctioned shard-local acquire/release pattern (allowed).
+package fixture
+
+import "sync"
+
+// pools is one shard's buffer pool set.
+//
+// distlint:pershard
+type pools struct {
+	bufs sync.Pool
+}
+
+func newPools() *pools { return &pools{} }
+
+func (p *pools) AcquireBuf() *[]byte {
+	if b, ok := p.bufs.Get().(*[]byte); ok {
+		return b
+	}
+	b := make([]byte, 0, 64)
+	return &b
+}
+
+func (p *pools) ReleaseBuf(b *[]byte) { p.bufs.Put(b) }
+
+// unmarked is an ordinary pool-shaped type with no shard affinity.
+type unmarked struct {
+	bufs sync.Pool
+}
+
+func (p *unmarked) AcquireBuf() *[]byte { return nil }
+func (p *unmarked) ReleaseBuf(b *[]byte) {}
+
+// --- flagged: a global is shared by every shard ---
+
+var globalPools = newPools() // want `per-shard value "globalPools" stored in a package-level var`
+
+var globalSlice []*pools // want `per-shard value "globalSlice" stored in a package-level var`
+
+// --- flagged: release to a different instance than the acquire ---
+
+type shard struct {
+	id    int
+	pools *pools
+}
+
+func badCrossShardRelease(a, b *shard) {
+	buf := a.pools.AcquireBuf()
+	*buf = append(*buf, 'x')
+	b.pools.ReleaseBuf(buf) // want `"buf" was acquired from "a" but released to "b"`
+}
+
+// --- allowed ---
+
+// goodShardLocal releases back to the owning shard's pools.
+func goodShardLocal(s *shard) {
+	buf := s.pools.AcquireBuf()
+	*buf = append(*buf, 'x')
+	s.pools.ReleaseBuf(buf)
+}
+
+// goodDeferRelease is the usual defer form.
+func goodDeferRelease(s *shard) {
+	buf := s.pools.AcquireBuf()
+	defer s.pools.ReleaseBuf(buf)
+	*buf = append(*buf, 'y')
+}
+
+// goodUnmarked: unmarked pool types carry no affinity contract.
+func goodUnmarked(a, b *unmarked) {
+	buf := a.AcquireBuf()
+	b.ReleaseBuf(buf)
+}
+
+var globalUnmarked = &unmarked{} // plain globals of unmarked types are fine

@@ -31,7 +31,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"webcluster/internal/cache"
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 )
@@ -148,14 +147,61 @@ func cloneNode(n *node) *node {
 // one atomic root comparison revalidates the cache after any mutation.
 type cachedEntry struct {
 	root *node
+	path string
 	e    *entry
 }
 
-// SizeBytes implements cache.Sizer; the entry cache is bounded by entry
-// count, so every entry counts as 1.
-func (c *cachedEntry) SizeBytes() int64 { return 1 }
+// entryCache is a lock-free direct-mapped path → (root, entry) cache.
+// Relay v3 note: the first generation of this cache was an LRU behind
+// sharded mutexes, and BENCH_relay.json caught it red-handed — a cached
+// lookup cost 473 ns and 1 alloc against 324 ns and 0 allocs for the
+// uncached trie walk, because two mutex hops plus recency-list
+// maintenance dwarf a walk over 2-3 trie levels. A direct-mapped table
+// of atomic pointers has no lock, no recency bookkeeping and no
+// per-hit allocation: a hit is one atomic load, one root-pointer
+// compare and one path compare. Collisions simply evict (last write
+// wins) — for a routing cache, rebuilding an evicted pair costs one
+// trie walk, so approximate retention is the right trade.
+type entryCache struct {
+	slots []atomic.Pointer[cachedEntry]
+	mask  uint32
+}
 
-var _ cache.Sizer = (*cachedEntry)(nil)
+// newEntryCache returns a cache sized for n hot entries. Slots are
+// over-provisioned 4× (rounded up to a power of two): a slot is one
+// 8-byte pointer, so the headroom costs 24n bytes and roughly halves
+// direct-mapped collisions between popular paths under Zipf traffic.
+func newEntryCache(n int) *entryCache {
+	size := 1
+	for size < 4*n {
+		size <<= 1
+	}
+	return &entryCache{slots: make([]atomic.Pointer[cachedEntry], size), mask: uint32(size - 1)}
+}
+
+// get returns the cached pair for path (any root), or nil.
+func (c *entryCache) get(path string, h uint32) *cachedEntry {
+	ce := c.slots[h&c.mask].Load()
+	if ce == nil || ce.path != path {
+		return nil
+	}
+	return ce
+}
+
+// put publishes a freshly resolved pair, evicting whatever shared the
+// slot. The one allocation per fill is the cachedEntry itself.
+func (c *entryCache) put(path string, h uint32, root *node, e *entry) {
+	c.slots[h&c.mask].Store(&cachedEntry{root: root, path: path, e: e})
+}
+
+// remove eagerly frees path's slot (the root swap that accompanies every
+// mutation already soft-invalidates it).
+func (c *entryCache) remove(path string, h uint32) {
+	i := h & c.mask
+	if ce := c.slots[i].Load(); ce != nil && ce.path == path {
+		c.slots[i].CompareAndSwap(ce, nil)
+	}
+}
 
 // Per-entry and per-node bookkeeping constants for the memory footprint
 // estimate reported by the §5.2 experiment. The constants approximate Go
@@ -203,10 +249,6 @@ func fnv32(s string) uint32 {
 	return h
 }
 
-// entryCacheShards is the shard count for the entry cache; enough to keep
-// shard mutexes off each other's cache lines at distributor core counts.
-const entryCacheShards = 8
-
 // Table is the URL table. The zero value is not usable; construct with New.
 type Table struct {
 	// root is the current published trie; readers Load it once and walk
@@ -220,7 +262,7 @@ type Table struct {
 	memBytes atomic.Int64
 
 	// entryCache maps full path → (root, entry) for recently routed URLs.
-	entryCache *cache.Sharded
+	entryCache *entryCache
 
 	lookups    stripedCounter
 	cacheHits  stripedCounter
@@ -239,7 +281,7 @@ func New(opts Options) *Table {
 	t := &Table{}
 	t.root.Store(&node{})
 	if opts.CacheEntries > 0 {
-		t.entryCache = cache.NewSharded(int64(opts.CacheEntries), entryCacheShards)
+		t.entryCache = newEntryCache(opts.CacheEntries)
 	}
 	return t
 }
@@ -423,29 +465,68 @@ func (t *Table) Insert(obj content.Object, locations ...config.NodeID) error {
 // is loaded once; the cache only serves entries resolved under that same
 // root, so a concurrent mutation can never surface a stale entry.
 func (t *Table) lookupEntry(path string) (*entry, error) {
+	e, _, err := t.lookupEntryRoot(path)
+	return e, err
+}
+
+// lookupEntryRoot is lookupEntry, additionally returning the root the
+// entry was resolved under (the validity token for hint revalidation).
+func (t *Table) lookupEntryRoot(path string) (*entry, *node, error) {
 	h := fnv32(path)
 	t.lookups.add(h, 1)
 	root := t.root.Load()
 	if t.entryCache != nil {
-		if v, ok := t.entryCache.Get(path); ok {
-			if ce, ok := v.(*cachedEntry); ok && ce.root == root {
-				t.cacheHits.add(h, 1)
-				return ce.e, nil
-			}
+		if ce := t.entryCache.get(path, h); ce != nil && ce.root == root {
+			t.cacheHits.add(h, 1)
+			return ce.e, root, nil
 		}
 	}
 	e, depth, err := findPath(root, path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	t.walkDepths.add(h, int64(depth))
 	if e == nil {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, path)
 	}
 	if t.entryCache != nil {
-		t.entryCache.Put(path, &cachedEntry{root: root, e: e})
+		t.entryCache.put(path, h, root, e)
 	}
-	return e, nil
+	return e, root, nil
+}
+
+// Hint is a per-caller route memo: the last resolved (path, entry) pair
+// and the root it was resolved under. A keep-alive or pipelined client
+// hammering one URL revalidates with a single pointer compare instead of
+// re-entering the shared cache. The zero value is an empty hint; a Hint
+// must not be shared between goroutines.
+type Hint struct {
+	root *node
+	path string
+	e    *entry
+}
+
+// RouteHinted is Route with a caller-held hint. The hint is consulted
+// before the shared entry cache and refreshed on every successful
+// resolution; it only serves an entry resolved under the current root, so
+// it can never return state from before a table mutation.
+func (t *Table) RouteHinted(path string, hint *Hint) (Record, error) {
+	if hint != nil && hint.e != nil && hint.path == path && hint.root == t.root.Load() {
+		h := fnv32(path)
+		t.lookups.add(h, 1)
+		t.cacheHits.add(h, 1)
+		hint.e.hits.Add(1)
+		return hint.e.record(), nil
+	}
+	e, root, err := t.lookupEntryRoot(path)
+	if err != nil {
+		return Record{}, err
+	}
+	if hint != nil {
+		hint.root, hint.path, hint.e = root, path, e
+	}
+	e.hits.Add(1)
+	return e.record(), nil
 }
 
 // Lookup returns the record for path without counting a hit.
@@ -487,7 +568,7 @@ func (t *Table) Remove(path string) error {
 	if t.entryCache != nil {
 		// The root swap already invalidates the cached pair; dropping it
 		// eagerly just frees the slot.
-		t.entryCache.Remove(path)
+		t.entryCache.remove(path, fnv32(path))
 	}
 	return nil
 }
@@ -527,7 +608,7 @@ func (t *Table) Rename(oldPath, newPath string) error {
 	t.root.Store(r2)
 	t.memBytes.Add(insDelta + remDelta)
 	if t.entryCache != nil {
-		t.entryCache.Remove(oldPath)
+		t.entryCache.remove(oldPath, fnv32(oldPath))
 	}
 	return nil
 }
