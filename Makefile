@@ -12,6 +12,10 @@ BENCH_CACHE = BenchmarkDistributorCacheHit|BenchmarkDistributorCacheColdMiss|Ben
 # untraced relay.
 BENCH_TELEMETRY = BenchmarkTelemetryObserve|BenchmarkDistributorRelayTraced
 
+# Admission benchmarks (BENCH_admission.json): the per-request overload
+# decision, which must stay at 0 allocs/op.
+BENCH_ADMISSION = BenchmarkAdmissionDecision
+
 .PHONY: all vet lint build test race chaos sim bench allocguard ci
 
 all: ci
@@ -70,6 +74,9 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_TELEMETRY)' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
 	@cat BENCH_telemetry.json
+	$(GO) test -run '^$$' -bench '$(BENCH_ADMISSION)' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_admission.json
+	@cat BENCH_admission.json
 
 # Regression gates. A fast -benchtime=100x pass is enough for the
 # allocs/op gate because allocation counts are deterministic; the
@@ -83,5 +90,7 @@ allocguard:
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_telemetry.json
 	$(GO) test -run '^$$' -bench 'BenchmarkDistributorRelayLarge' -benchmem . \
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_relay.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionDecision$$' -benchtime=100x -benchmem . \
+		| $(GO) run ./cmd/benchguard -snapshot BENCH_admission.json -tolerance 0
 
 ci: vet lint build test race allocguard

@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"webcluster/internal/admission"
 	"webcluster/internal/backend"
 	"webcluster/internal/config"
 	"webcluster/internal/conntrack"
@@ -375,6 +376,30 @@ func BenchmarkTelemetryObserve(b *testing.B) {
 			cs.Latency.ObserveNs(ns & 0xfffff)
 		}
 	})
+}
+
+// BenchmarkAdmissionDecision measures the full per-request admission
+// cost on the uncontended fast path: classify against the rule table,
+// admit into the class's concurrency share, release on completion.
+// This runs in front of every relayed request when overload control is
+// on, so it must stay at 0 allocs/op (gated by `make allocguard`
+// against BENCH_admission.json).
+func BenchmarkAdmissionDecision(b *testing.B) {
+	c := admission.New(admission.Options{
+		MaxConcurrent: 256,
+		Rules: []admission.Rule{
+			{Prefix: "/checkout/", Class: admission.Critical},
+			{Prefix: "/reports/", Class: admission.Batch},
+		},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		class := c.Classify("", "/products/42.html")
+		if v := c.Admit(class); v != admission.Admitted {
+			b.Fatalf("admission verdict %v on an idle controller", v)
+		}
+		c.Release(class)
+	}
 }
 
 // BenchmarkDistributorRelayLarge measures the streaming fast path on large

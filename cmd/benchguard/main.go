@@ -28,10 +28,12 @@ import (
 )
 
 // snapshotEntry mirrors the fields benchguard needs from the JSON that
-// cmd/benchjson archives.
+// cmd/benchjson archives. AllocsPerOp is a pointer: an explicit 0 in
+// the snapshot (an allocation-free fast path) arms the gate just like
+// any other count, while an absent field leaves it off.
 type snapshotEntry struct {
 	Name        string  `json:"name"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	AllocsPerOp *int64  `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec"`
 }
 
@@ -66,14 +68,14 @@ func main() {
 		if !ok {
 			continue
 		}
-		if m.hasAllocs && base.AllocsPerOp > 0 {
+		if m.hasAllocs && base.AllocsPerOp != nil {
 			compared++
-			if m.allocs > base.AllocsPerOp+*tolerance {
+			if m.allocs > *base.AllocsPerOp+*tolerance {
 				failures++
 				fmt.Fprintf(os.Stderr, "benchguard: %s: %d allocs/op, snapshot %d (tolerance +%d)\n",
-					name, m.allocs, base.AllocsPerOp, *tolerance)
+					name, m.allocs, *base.AllocsPerOp, *tolerance)
 			} else {
-				fmt.Printf("benchguard: %s: %d allocs/op (snapshot %d) ok\n", name, m.allocs, base.AllocsPerOp)
+				fmt.Printf("benchguard: %s: %d allocs/op (snapshot %d) ok\n", name, m.allocs, *base.AllocsPerOp)
 			}
 		}
 		if m.mbPerSec > 0 && base.MBPerSec > 0 {
@@ -98,7 +100,7 @@ func main() {
 }
 
 // readSnapshot loads the archived results, keeping entries that recorded
-// an allocation count or a throughput figure.
+// an allocation count (including an explicit 0) or a throughput figure.
 func readSnapshot(path string) (map[string]snapshotEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -110,7 +112,7 @@ func readSnapshot(path string) (map[string]snapshotEntry, error) {
 	}
 	out := make(map[string]snapshotEntry, len(entries))
 	for _, e := range entries {
-		if e.AllocsPerOp > 0 || e.MBPerSec > 0 {
+		if e.AllocsPerOp != nil || e.MBPerSec > 0 {
 			out[e.Name] = e
 		}
 	}

@@ -21,14 +21,17 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. BytesPerOp and AllocsPerOp are
+// pointers so a measured zero (a -benchmem run on an allocation-free
+// path, the thing benchguard gates) archives as an explicit 0 instead
+// of vanishing behind omitempty.
 type Result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
-	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -91,9 +94,11 @@ func parseLine(line string) (Result, bool, error) {
 		case "MB/s":
 			r.MBPerSec = val
 		case "B/op":
-			r.BytesPerOp = int64(val)
+			b := int64(val)
+			r.BytesPerOp = &b
 		case "allocs/op":
-			r.AllocsPerOp = int64(val)
+			a := int64(val)
+			r.AllocsPerOp = &a
 		default:
 			if r.Metrics == nil {
 				r.Metrics = make(map[string]float64)

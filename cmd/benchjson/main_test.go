@@ -29,7 +29,7 @@ func TestParse(t *testing.T) {
 	if r.Name != "BenchmarkURLTableLookup" || r.Iterations != 8094747 {
 		t.Fatalf("first result = %+v", r)
 	}
-	if r.NsPerOp != 157.3 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+	if r.NsPerOp != 157.3 || r.BytesPerOp == nil || *r.BytesPerOp != 0 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
 		t.Fatalf("first result stats = %+v", r)
 	}
 	if r.Metrics["table-KB"] != 1880 {
@@ -39,7 +39,7 @@ func TestParse(t *testing.T) {
 	if large.Name != "BenchmarkDistributorRelayLarge/64KiB" {
 		t.Fatalf("proc suffix not trimmed: %q", large.Name)
 	}
-	if large.MBPerSec != 1290.89 || large.AllocsPerOp != 19 {
+	if large.MBPerSec != 1290.89 || large.AllocsPerOp == nil || *large.AllocsPerOp != 19 {
 		t.Fatalf("large result = %+v", large)
 	}
 	fig := results[2]

@@ -234,6 +234,37 @@ func printStats(st *telemetry.ClusterStats) {
 			c.Class, c.Requests, c.Errors, c.RatePerSec,
 			fmtNs(c.MeanNs), fmtNs(c.P50Ns), fmtNs(c.P90Ns), fmtNs(c.P99Ns), fmtNs(c.MaxNs))
 	}
+	printAdmission(st.Merged.Counters)
+}
+
+// printAdmission renders the overload-control ledger when the
+// distributor runs with admission enabled: per SLO class, how many
+// requests were offered, admitted, degraded to stale cache answers, or
+// shed outright. Silent when no admission counters exist (admission
+// off).
+func printAdmission(counters map[string]int64) {
+	classes := []string{"critical", "interactive", "batch"}
+	any := false
+	for _, cl := range classes {
+		if counters["admission_"+cl+"_offered"] > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Printf("\nadmission (overload control):\n")
+	fmt.Printf("%-12s %9s %9s %9s %9s %9s\n",
+		"CLASS", "OFFERED", "ADMITTED", "STALE", "SHED", "TIMEOUTS")
+	for _, cl := range classes {
+		fmt.Printf("%-12s %9d %9d %9d %9d %9d\n", cl,
+			counters["admission_"+cl+"_offered"],
+			counters["admission_"+cl+"_admitted"],
+			counters["admission_"+cl+"_stale"],
+			counters["admission_"+cl+"_shed"],
+			counters["admission_"+cl+"_wait_timeouts"])
+	}
 }
 
 // printTraces renders the slowest recent spans across all nodes.

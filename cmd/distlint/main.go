@@ -1,7 +1,8 @@
 // Command distlint runs the repo's analyzer suite (see internal/lint)
 // over the module: pooledescape, cowdiscipline, deadlinecheck,
-// faulthook, and lockscope — the five checks that machine-enforce the
-// concurrency and data-path invariants of the hot paths.
+// faulthook, lockscope, queuewait, and shardaffinity — the checks that
+// machine-enforce the concurrency and data-path invariants of the hot
+// paths.
 //
 // Usage:
 //

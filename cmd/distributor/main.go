@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"webcluster/internal/admission"
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/core"
@@ -50,6 +51,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty = off")
 	adminAddr := flag.String("admin", "", "serve /metrics, /debug/traces, /debug/vars, /healthz on this address; empty = off")
 	slowMs := flag.Duration("slow", 0, "log requests slower than this to stderr (0 = off)")
+	admit := flag.Bool("admit", false, "enable SLO-class admission control (overload shedding + deadline propagation)")
+	admitMax := flag.Int("admit-max", 0, "admission concurrency budget across classes (0 = default 256)")
+	admitTarget := flag.Duration("admit-target", 0, "admission queue-delay target before shedding engages (0 = default 5ms)")
 	flag.Parse()
 	if *pprofAddr != "" {
 		go func() {
@@ -63,7 +67,11 @@ func main() {
 	}
 	cacheOpts := cacheConfig{mb: *cacheMB, fresh: *cacheFresh, stale: *cacheStale}
 	telCfg := telConfig{admin: *adminAddr, slow: *slowMs}
-	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *shards, *balanceEvery, cacheOpts, telCfg); err != nil {
+	var admCfg *admission.Options
+	if *admit {
+		admCfg = &admission.Options{MaxConcurrent: *admitMax, QueueTarget: *admitTarget}
+	}
+	if err := run(*clusterFile, *listen, *consoleAddr, *replAddr, *backupOf, *tableFile, *accessLog, *prefork, *shards, *balanceEvery, cacheOpts, telCfg, admCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "distributor:", err)
 		os.Exit(1)
 	}
@@ -81,7 +89,7 @@ type telConfig struct {
 	slow  time.Duration
 }
 
-func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork, shards int, balanceEvery time.Duration, cacheCfg cacheConfig, telCfg telConfig) error {
+func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork, shards int, balanceEvery time.Duration, cacheCfg cacheConfig, telCfg telConfig, admCfg *admission.Options) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -143,6 +151,10 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 		distOpts.Cache = respCache
 		fmt.Printf("response cache: %d MiB, fresh %v, stale window %v\n",
 			cacheCfg.mb, cacheCfg.fresh, cacheCfg.stale)
+	}
+	if admCfg != nil {
+		distOpts.Admission = admCfg
+		fmt.Println("admission control: SLO-class shedding enabled")
 	}
 	dist, err := distributor.New(distOpts)
 	if err != nil {

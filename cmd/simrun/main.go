@@ -9,8 +9,10 @@
 //
 // Built-in scenarios: day (24 h diurnal curve with a flash crowd and a
 // maintenance window over Workload B), flash-crowd (sustained hot-shift
-// surge the auto-replication planner must absorb). A JSON spec file
-// (-spec) overrides -scenario; see DESIGN.md §12 for the schema.
+// surge the auto-replication planner must absorb), surge (three SLO
+// classes under a ×10 flash crowd — pair with -admit to watch the
+// shedding ladder engage). A JSON spec file (-spec) overrides
+// -scenario; see DESIGN.md §12 for the schema.
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "day", "built-in scenario name (day|flash-crowd)")
+	scenario := flag.String("scenario", "day", "built-in scenario name (day|flash-crowd|surge)")
 	specFile := flag.String("spec", "", "JSON workload-spec file (overrides -scenario)")
 	out := flag.String("out", "timeline.csv", "timeline CSV path (- for stdout)")
 	seed := flag.Int64("seed", 0, "override the spec's seed (0 = keep)")
@@ -32,16 +34,23 @@ func main() {
 	interval := flag.Duration("interval", 0, "override the timeline aggregation interval (0 = keep)")
 	scheme := flag.String("scheme", "partition", "placement scheme (partition|full-replication|nfs)")
 	autobalance := flag.Bool("autobalance", true, "run the auto-replication planner each interval")
+	admit := flag.Bool("admit", false, "enable SLO-class admission control at the front end")
+	admitMax := flag.Int("admit-max", 10, "admission concurrency budget (with -admit)")
+	admitHeadroom := flag.Float64("admit-headroom", 4, "critical-class borrow factor over its share (with -admit)")
 	quiet := flag.Bool("q", false, "suppress the summary on stderr")
 	flag.Parse()
 
-	if err := run(*scenario, *specFile, *out, *seed, *timeScale, *interval, *scheme, *autobalance, *quiet); err != nil {
+	var adm *sim.AdmissionParams
+	if *admit {
+		adm = &sim.AdmissionParams{MaxConcurrent: *admitMax, CriticalHeadroom: *admitHeadroom}
+	}
+	if err := run(*scenario, *specFile, *out, *seed, *timeScale, *interval, *scheme, *autobalance, adm, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "simrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario, specFile, out string, seed int64, timeScale float64, interval time.Duration, scheme string, autobalance, quiet bool) error {
+func run(scenario, specFile, out string, seed int64, timeScale float64, interval time.Duration, scheme string, autobalance bool, adm *sim.AdmissionParams, quiet bool) error {
 	var spec *workload.Spec
 	var err error
 	if specFile != "" {
@@ -64,6 +73,7 @@ func run(scenario, specFile, out string, seed int64, timeScale float64, interval
 
 	opts := sim.DefaultScenarioOptions()
 	opts.AutoBalance = autobalance
+	opts.Admission = adm
 	switch scheme {
 	case "partition":
 		opts.Scheme = sim.SchemePartition

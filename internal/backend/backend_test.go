@@ -593,3 +593,53 @@ func TestDirStoreAgentLifecycle(t *testing.T) {
 		t.Fatalf("file not on disk: %v", err)
 	}
 }
+
+// TestDeadlineRejectsOverdueRequest: a request whose propagated
+// X-Dist-Deadline already lapsed is refused before any work.
+func TestDeadlineRejectsOverdueRequest(t *testing.T) {
+	store := &MemStore{}
+	_ = store.Put("/a.html", []byte("<html>A</html>"))
+	srv := newTestServer(t, store)
+
+	req := get("/a.html")
+	req.Deadline = time.Now().Add(-time.Second).UnixNano()
+	resp := srv.Handle(req)
+	if resp.StatusCode != 503 {
+		t.Fatalf("overdue request got %d, want 503", resp.StatusCode)
+	}
+	if srv.Stats().Counter("backend_deadline_rejected").Value() != 1 {
+		t.Fatal("rejection not counted")
+	}
+
+	// A future deadline leaves the request untouched.
+	req2 := get("/a.html")
+	req2.Deadline = time.Now().Add(time.Minute).UnixNano()
+	if resp := srv.Handle(req2); resp.StatusCode != 200 {
+		t.Fatalf("future-deadline request got %d", resp.StatusCode)
+	}
+}
+
+// TestDeadlineCancelsMidWork: the emulated service time is cut short the
+// moment the propagated deadline lapses, and the handler answers 503
+// instead of finishing work nobody is waiting for.
+func TestDeadlineCancelsMidWork(t *testing.T) {
+	store := &MemStore{}
+	_ = store.Put("/a.html", []byte("<html>A</html>"))
+	srv := newTestServer(t, store)
+	srv.SetDelay(func(ServedRequest) time.Duration { return time.Second })
+
+	req := get("/a.html")
+	req.Deadline = time.Now().Add(20 * time.Millisecond).UnixNano()
+	start := time.Now()
+	resp := srv.Handle(req)
+	took := time.Since(start)
+	if resp.StatusCode != 503 {
+		t.Fatalf("canceled request got %d, want 503", resp.StatusCode)
+	}
+	if took >= 500*time.Millisecond {
+		t.Fatalf("handler ran the full service time (%v) past the deadline", took)
+	}
+	if srv.Stats().Counter("backend_deadline_canceled").Value() != 1 {
+		t.Fatal("cancellation not counted")
+	}
+}

@@ -82,6 +82,14 @@ type Server struct {
 	// load signal.
 	active metrics.Counter
 	done   metrics.Counter
+
+	// Deadline enforcement (in-band X-Dist-Deadline): requests already
+	// overdue on arrival are rejected before any work; requests whose
+	// deadline lapses inside the emulated service time are canceled
+	// mid-work. Both outcomes are 503s the distributor never retries
+	// against another replica — the client has given up either way.
+	deadlineRejected *telemetry.Counter
+	deadlineCanceled *telemetry.Counter
 }
 
 type prefixHandler struct {
@@ -105,6 +113,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if tel == nil {
 		tel = telemetry.New(telemetry.Options{Node: string(opts.Spec.ID)})
 	}
+	stats := tel.Registry()
 	return &Server{
 		spec:      opts.Spec,
 		store:     opts.Store,
@@ -112,10 +121,13 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		delay:     opts.Delay,
 		faults:    opts.Faults,
 		tel:       tel,
-		stats:     tel.Registry(),
+		stats:     stats,
 		handlers:  make(map[string]DynamicHandler),
 		conns:     make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
+
+		deadlineRejected: stats.Counter("backend_deadline_rejected"),
+		deadlineCanceled: stats.Counter("backend_deadline_canceled"),
 	}, nil
 }
 
@@ -200,6 +212,13 @@ func (s *Server) serve(req *httpx.Request) *httpx.Response {
 	if req.Method != "GET" && req.Method != "POST" && req.Method != "HEAD" {
 		return httpx.NewResponse(req.Proto, 400, []byte("unsupported method\n"))
 	}
+	// In-band deadline (X-Dist-Deadline): work the client has already
+	// abandoned is refused before costing anything.
+	deadline := req.DeadlineTime()
+	if req.DeadlineExpired(time.Now()) {
+		s.deadlineRejected.Inc()
+		return s.deadlineExceeded(req)
+	}
 	class := content.Classify(req.Path)
 
 	if h, ok := s.lookupHandler(req.Path); ok {
@@ -207,7 +226,10 @@ func (s *Server) serve(req *httpx.Request) *httpx.Response {
 		if err != nil {
 			return httpx.NewResponse(req.Proto, 500, []byte(err.Error()+"\n"))
 		}
-		s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CPUCost: cpuCost})
+		if !s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CPUCost: cpuCost}, deadline) {
+			s.deadlineCanceled.Inc()
+			return s.deadlineExceeded(req)
+		}
 		resp := httpx.NewResponse(req.Proto, 200, body)
 		resp.Header.Set("Content-Type", "text/html")
 		resp.Header.Set("X-Served-By", string(s.spec.ID))
@@ -236,7 +258,10 @@ func (s *Server) serve(req *httpx.Request) *httpx.Response {
 		body = data
 		s.pageCache.Put(req.Path, cache.Bytes(data))
 	}
-	s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CacheHit: hit})
+	if !s.sleepFor(ServedRequest{Class: class, Size: int64(len(body)), CacheHit: hit}, deadline) {
+		s.deadlineCanceled.Inc()
+		return s.deadlineExceeded(req)
+	}
 	// Conditional requests (the distributor revalidating a cached entry,
 	// or a client with a cached copy): the validator is computed only when
 	// a conditional header is present, keeping the unconditional path free
@@ -271,17 +296,42 @@ func (s *Server) SetDelay(d DelayFunc) {
 	s.mu.Unlock()
 }
 
-// sleepFor applies the emulated service delay.
-func (s *Server) sleepFor(r ServedRequest) {
+// sleepFor applies the emulated service delay, canceling at deadline: it
+// reports false when the propagated deadline lapsed before the service
+// time completed — the caller abandons the request instead of finishing
+// work nobody is waiting for. A zero deadline never cancels.
+func (s *Server) sleepFor(r ServedRequest, deadline time.Time) bool {
 	s.mu.Lock()
 	delay := s.delay
 	s.mu.Unlock()
 	if delay == nil {
-		return
+		return true
 	}
-	if d := delay(r); d > 0 {
-		time.Sleep(d)
+	d := delay(r)
+	if d <= 0 {
+		return true
 	}
+	if !deadline.IsZero() {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		if d >= remain {
+			// Sleep only the remaining budget, then cancel: the in-flight
+			// handler stops the moment the client's wait expires.
+			time.Sleep(remain)
+			return false
+		}
+	}
+	time.Sleep(d)
+	return true
+}
+
+// deadlineExceeded is the terminal response for overdue work.
+func (s *Server) deadlineExceeded(req *httpx.Request) *httpx.Response {
+	resp := httpx.NewResponse(req.Proto, 503, []byte("deadline exceeded\n"))
+	resp.Header.Set("X-Served-By", string(s.spec.ID))
+	return resp
 }
 
 // Serve accepts connections on l until Close. Each connection runs a

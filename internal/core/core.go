@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"webcluster/internal/admission"
 	"webcluster/internal/backend"
 	"webcluster/internal/config"
 	"webcluster/internal/content"
@@ -167,6 +168,11 @@ type Options struct {
 	// size, slow-request log). Node defaults to "distributor". Telemetry
 	// itself is always on — it is the observability plane of the system.
 	TelemetryOptions telemetry.Options
+	// Admission, when non-nil, enables SLO-class overload control at the
+	// distributor (per-class weighted admission, progressive shedding,
+	// in-band deadline propagation). Nil leaves the request path exactly
+	// as without the subsystem.
+	Admission *admission.Options
 }
 
 // DefaultSpec returns a 3-node heterogeneous development cluster.
@@ -305,6 +311,7 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		Faults:         opts.Faults,
 		Cache:          c.Cache,
 		Telemetry:      c.Telemetry,
+		Admission:      opts.Admission,
 	})
 	if derr != nil {
 		return nil, fmt.Errorf("core: %w", derr)

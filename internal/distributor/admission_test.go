@@ -1,0 +1,139 @@
+package distributor
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"webcluster/internal/admission"
+	"webcluster/internal/backend"
+	"webcluster/internal/httpx"
+	"webcluster/internal/respcache"
+)
+
+// withAdmission returns a startClusterOpts tweak enabling overload
+// control with a tiny budget and near-instant queue timeouts, so a
+// test can saturate a class with a handful of slow requests.
+func withAdmission(maxConcurrent int) func(*Options) {
+	return func(o *Options) {
+		o.Admission = &admission.Options{
+			MaxConcurrent: maxConcurrent,
+			MaxWait: [admission.NumClasses]time.Duration{
+				time.Millisecond, time.Millisecond, time.Millisecond,
+			},
+		}
+	}
+}
+
+// saturate parks n slow background requests of the given class and
+// waits until all of them hold admission slots. The returned func
+// blocks until they drain.
+func saturate(t *testing.T, tc *testCluster, class admission.Class, path string, n int) (wait func()) {
+	t.Helper()
+	for _, srv := range tc.backends {
+		srv.SetDelay(func(backend.ServedRequest) time.Duration { return 400 * time.Millisecond })
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = fetchHdr(t, tc.front, "GET", path, "X-Dist-Class", class.String())
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tc.dist.Admission().InFlight(class) < int64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d %s requests in flight", tc.dist.Admission().InFlight(class), n, class)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return wg.Wait
+}
+
+// TestAdmissionShedInteractiveServesStale covers the second
+// serveStaleIfAllowed call site: an interactive request shed by
+// admission control degrades to the cache's stale copy instead of a
+// 503 (the first call site, distributor stale-on-error with every
+// replica down, is covered by TestCacheStaleOnError).
+func TestAdmissionShedInteractiveServesStale(t *testing.T) {
+	rc := respcache.New(respcache.Options{FreshTTL: 50 * time.Millisecond, StaleTTL: time.Hour})
+	tc := startClusterOpts(t, 2, func(o *Options) {
+		withCache(rc)(o)
+		withAdmission(6)(o) // interactive share: 2 slots
+	})
+	body := []byte("<html>degraded but served</html>")
+	tc.place(t, "/degrade.html", body, "n1", "n2")
+
+	fetch(t, tc.front, "/degrade.html", httpx.Proto11) // fill
+	time.Sleep(120 * time.Millisecond)                 // let freshness lapse
+
+	drain := saturate(t, tc, admission.Interactive, "/degrade.html", 2)
+	defer drain()
+
+	resp := fetchHdr(t, tc.front, "GET", "/degrade.html", "X-Dist-Class", "interactive")
+	if resp.StatusCode != 200 || !bytes.Equal(resp.Body, body) {
+		t.Fatalf("shed interactive request: status=%d body=%q, want the stale copy", resp.StatusCode, resp.Body)
+	}
+	if got := resp.Header.Get("X-Dist-Cache"); got != "STALE" {
+		t.Fatalf("verdict = %q, want STALE", got)
+	}
+	if _, _, _, stale := tc.dist.Admission().ClassCounters(admission.Interactive); stale == 0 {
+		t.Fatal("interactive stale counter did not move")
+	}
+}
+
+// TestAdmissionShedInteractiveWithoutStaleRejects: the stale rung only
+// degrades when the cache actually has a copy; otherwise the shed
+// falls through to a 503 with a Retry-After hint.
+func TestAdmissionShedInteractiveWithoutStaleRejects(t *testing.T) {
+	rc := respcache.New(respcache.Options{FreshTTL: 50 * time.Millisecond, StaleTTL: time.Hour})
+	tc := startClusterOpts(t, 2, func(o *Options) {
+		withCache(rc)(o)
+		withAdmission(6)(o)
+	})
+	body := []byte("<html>never cached</html>")
+	tc.place(t, "/uncached.html", body, "n1", "n2")
+
+	drain := saturate(t, tc, admission.Interactive, "/uncached.html", 2)
+	defer drain()
+
+	resp := fetchHdr(t, tc.front, "GET", "/uncached.html", "X-Dist-Class", "interactive")
+	if resp.StatusCode != 503 {
+		t.Fatalf("shed with no stale copy: status=%d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q", got, "1")
+	}
+}
+
+// TestAdmissionBatchRejectedFirst: the batch rung never degrades to
+// stale — it is rejected outright with a Retry-After hint, even when a
+// stale copy exists.
+func TestAdmissionBatchRejectedFirst(t *testing.T) {
+	rc := respcache.New(respcache.Options{FreshTTL: 50 * time.Millisecond, StaleTTL: time.Hour})
+	tc := startClusterOpts(t, 2, func(o *Options) {
+		withCache(rc)(o)
+		withAdmission(6)(o) // batch share: 1 slot
+	})
+	body := []byte("<html>report</html>")
+	tc.place(t, "/report.html", body, "n1", "n2")
+
+	fetch(t, tc.front, "/report.html", httpx.Proto11) // fill
+	time.Sleep(120 * time.Millisecond)                // let freshness lapse
+
+	drain := saturate(t, tc, admission.Batch, "/report.html", 1)
+	defer drain()
+
+	resp := fetchHdr(t, tc.front, "GET", "/report.html", "X-Dist-Class", "batch")
+	if resp.StatusCode != 503 {
+		t.Fatalf("shed batch request: status=%d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q", got, "1")
+	}
+	if _, _, shed, _ := tc.dist.Admission().ClassCounters(admission.Batch); shed == 0 {
+		t.Fatal("batch shed counter did not move")
+	}
+}

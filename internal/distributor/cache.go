@@ -136,6 +136,21 @@ func (d *Distributor) writeCached(client net.Conn, key conntrack.ClientKey, req 
 	return err == nil && req.KeepAlive()
 }
 
+// serveStaleIfAllowed serves an expired-but-within-stale-window entry —
+// the degraded answer shared by the stale-on-error fallback (every
+// replica of a path failing) and the admission controller's ShedStale
+// rung (interactive requests degraded under overload). served is false
+// when there is no entry to degrade to; the caller then falls through to
+// its own failure path. Both call sites count the stale serve exactly
+// once, here.
+func (d *Distributor) serveStaleIfAllowed(client net.Conn, key conntrack.ClientKey, req *httpx.Request, stale *respcache.Entry, start time.Time, sp *telemetry.Span) (served, connOK bool) {
+	if stale == nil {
+		return false, true
+	}
+	d.cache.CountStale()
+	return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
+}
+
 // serveMiss handles a cache miss: join or lead the singleflight fetch for
 // the path. The leader performs one backend exchange and every concurrent
 // requester shares its result.
@@ -225,8 +240,7 @@ func (d *Distributor) serveStaleEntry(s *shard, client net.Conn, key conntrack.C
 		case err != nil:
 			// no replica answered the leader; the entry is still within
 			// its stale window (Get classified it Stale), so degrade
-			d.cache.CountStale()
-			return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
+			return d.serveStaleIfAllowed(client, key, req, stale, start, sp)
 		default:
 			return false, true // uncacheable upstream response: relay
 		}
@@ -242,8 +256,7 @@ func (d *Distributor) serveStaleEntry(s *shard, client net.Conn, key conntrack.C
 	sp.MarkRoute()
 	if err != nil {
 		f.Finish(nil, err)
-		d.cache.CountStale()
-		return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
+		return d.serveStaleIfAllowed(client, key, req, stale, start, sp)
 	}
 	// conditional GET carrying the stored validator; a 304 means the body
 	// never moves again
@@ -271,15 +284,13 @@ func (d *Distributor) serveStaleEntry(s *shard, client net.Conn, key conntrack.C
 	sp.MarkBackend()
 	if err != nil {
 		f.Finish(nil, err)
-		d.cache.CountStale()
-		return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
+		return d.serveStaleIfAllowed(client, key, req, stale, start, sp)
 	}
 	sp.SetBackend(string(node), resp.SpanID)
 	if resp.StatusCode == 304 {
 		if serr := d.settleConn(pc, resp); serr != nil {
 			f.Finish(nil, serr)
-			d.cache.CountStale()
-			return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
+			return d.serveStaleIfAllowed(client, key, req, stale, start, sp)
 		}
 		// skip the refresh if an invalidation raced the exchange: the
 		// waiting requesters still get the body they asked for before the
@@ -297,8 +308,7 @@ func (d *Distributor) serveStaleEntry(s *shard, client net.Conn, key conntrack.C
 	e, berr := d.bufferEntry(pc, resp)
 	if berr != nil {
 		f.Finish(nil, berr)
-		d.cache.CountStale()
-		return true, d.writeCached(client, key, req, stale, "STALE", start, sp)
+		return d.serveStaleIfAllowed(client, key, req, stale, start, sp)
 	}
 	f.Finish(e, nil)
 	return true, d.writeCached(client, key, req, e, "MISS", start, sp)

@@ -18,6 +18,7 @@ import (
 
 	"webcluster/internal/trace"
 
+	"webcluster/internal/admission"
 	"webcluster/internal/config"
 	"webcluster/internal/conntrack"
 	"webcluster/internal/faults"
@@ -83,6 +84,13 @@ type Options struct {
 	// to back ends via the X-Dist-Trace header. Nil means untraced; the
 	// per-class stats registry exists either way.
 	Telemetry *telemetry.Telemetry
+	// Admission, when non-nil, enables SLO-class overload control:
+	// requests are classified (critical/interactive/batch), admitted
+	// through per-class weighted concurrency gates, stamped with
+	// downstream deadlines, and progressively shed under pressure. Nil
+	// disables admission entirely — the request path is then identical
+	// to a build without the subsystem.
+	Admission *admission.Options
 	// Shards is the number of accept/relay shards (per-core data-plane
 	// partitions). Each shard gets its own SO_REUSEPORT listener where
 	// the platform supports it (striped accept goroutines on one
@@ -111,6 +119,7 @@ type Distributor struct {
 	mapping *conntrack.MappingTable
 	tracker *loadbal.Tracker
 	cache   *respcache.Cache
+	adm     *admission.Controller
 
 	active map[config.NodeID]*atomic.Int64
 	// down marks nodes the monitor has declared failed; pickReplica
@@ -239,6 +248,29 @@ func New(opts Options) (*Distributor, error) {
 		return net.DialTimeout("tcp", addr, 2*time.Second)
 	}, prefork, maxConns, shards)
 	d.pool.SetFaults(opts.Faults)
+	if opts.Admission != nil {
+		admOpts := *opts.Admission
+		admOpts.Registry = stats
+		d.adm = admission.New(admOpts)
+		// The pressure signal the batch rung keys off: summed per-backend
+		// in-flight exchanges against the pool's aggregate connection
+		// capacity. d.active is fully populated above and never written
+		// again, so the unlocked map iteration is safe.
+		capacity := int64(maxConns) * int64(len(opts.Cluster.Nodes))
+		d.adm.SetPressure(func() (int64, int64) {
+			var inflight int64
+			for _, c := range d.active {
+				inflight += c.Load()
+			}
+			return inflight, capacity
+		})
+		for _, n := range opts.Cluster.Nodes {
+			c := d.active[n.ID]
+			stats.GaugeFunc("distributor_inflight_"+string(n.ID), func() float64 {
+				return float64(c.Load())
+			})
+		}
+	}
 	return d, nil
 }
 
@@ -466,6 +498,17 @@ func (d *Distributor) relayRequest(s *shard, client net.Conn, key conntrack.Clie
 		// carries X-Dist-Trace, and the chosen back end echoes it with its
 		// own span ID.
 		req.TraceID = sp.ID()
+	}
+	if d.adm != nil {
+		// Overload control runs before any routing or cache work: a shed
+		// request must cost nothing downstream. An admitted request holds
+		// its class slot for the full relay (including the cache path —
+		// the slot bounds front-end concurrency, not just back-end load).
+		class, handled, ok := d.admitRequest(client, key, req, sp)
+		if handled {
+			return ok
+		}
+		defer d.adm.Release(class)
 	}
 	if d.cache != nil && cacheEligible(req) {
 		// Cache hits (and cache-led fetches) never bind a back-end

@@ -1,0 +1,75 @@
+package httpx
+
+import (
+	"strconv"
+	"time"
+)
+
+// In-band deadline propagation. The distributor stamps each admitted
+// request with the absolute instant after which the client's wait is
+// considered abandoned, and forwards it to the back end as
+//
+//	X-Dist-Deadline: <unix-nanoseconds, lowercase hex>
+//
+// alongside the X-Dist-Trace/X-Dist-Span pair. A back end compares the
+// propagated instant against its own clock and cancels work the client
+// has already given up on. Like the trace headers the value lives in a
+// Request field (Deadline), parsed and emitted without allocating.
+
+// ParseDeadline parses an X-Dist-Deadline value (lowercase or uppercase
+// hex Unix nanoseconds) from wire bytes without allocating. Values that
+// are malformed or overflow int64 report ok=false.
+func ParseDeadline(b []byte) (int64, bool) {
+	v, ok := parseHex(b)
+	if !ok || v > 1<<63-1 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// AppendDeadline appends nanos as the hex wire form of an
+// X-Dist-Deadline value (the value only, no header name), writing into
+// b's existing capacity when large enough. Non-positive deadlines append
+// nothing: 0 means "no deadline" on the wire.
+func AppendDeadline(b []byte, nanos int64) []byte {
+	if nanos <= 0 {
+		return b
+	}
+	return strconv.AppendUint(b, uint64(nanos), 16)
+}
+
+// DeadlineTime returns the request's propagated deadline as a time.Time,
+// the zero Time when none was set.
+func (r *Request) DeadlineTime() time.Time {
+	if r.Deadline <= 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, r.Deadline)
+}
+
+// DeadlineExpired reports whether the propagated deadline has passed at
+// now. A request with no deadline never expires.
+func (r *Request) DeadlineExpired(now time.Time) bool {
+	return r.Deadline > 0 && now.UnixNano() >= r.Deadline
+}
+
+// DeadlineRemaining returns the budget left before the propagated
+// deadline at now (negative when already expired), or 0 when the request
+// carries no deadline.
+func (r *Request) DeadlineRemaining(now time.Time) time.Duration {
+	if r.Deadline <= 0 {
+		return 0
+	}
+	return time.Duration(r.Deadline - now.UnixNano())
+}
+
+// TightenDeadline lowers the request's deadline to t when t is earlier
+// than the current one (or when none is set). A client-propagated
+// deadline is never loosened — the distributor's own budget only ever
+// shrinks the window.
+func (r *Request) TightenDeadline(t time.Time) {
+	ns := t.UnixNano()
+	if r.Deadline == 0 || ns < r.Deadline {
+		r.Deadline = ns
+	}
+}

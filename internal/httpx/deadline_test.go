@@ -1,0 +1,129 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDeadline(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"1", 1, true},
+		{"ff", 255, true},
+		{"16f31d1a2b3c4d5e", 0x16f31d1a2b3c4d5e, true},
+		{"7fffffffffffffff", 1<<63 - 1, true},
+		{"8000000000000000", 0, false}, // overflows int64
+		{"", 0, false},
+		{"xyz", 0, false},
+		{"11112222333344445", 0, false}, // 17 digits
+	}
+	for _, c := range cases {
+		got, ok := ParseDeadline([]byte(c.in))
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseDeadline(%q) = (%d, %v), want (%d, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAppendDeadlineRoundTrip(t *testing.T) {
+	for _, ns := range []int64{1, 42, 1<<40 + 12345, 1<<63 - 1} {
+		b := AppendDeadline(nil, ns)
+		got, ok := ParseDeadline(b)
+		if !ok || got != ns {
+			t.Errorf("round trip %d: got (%d, %v) from %q", ns, got, ok, b)
+		}
+	}
+	if b := AppendDeadline(nil, 0); len(b) != 0 {
+		t.Errorf("AppendDeadline(0) emitted %q, want nothing", b)
+	}
+	if b := AppendDeadline(nil, -5); len(b) != 0 {
+		t.Errorf("AppendDeadline(-5) emitted %q, want nothing", b)
+	}
+}
+
+func TestDeadlineHelpersAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 32)
+	val := []byte("16f31d1a2b3c4d5e")
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendDeadline(buf[:0], 0x16f31d1a2b3c4d5e)
+		if _, ok := ParseDeadline(val); !ok {
+			t.Fatal("parse failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("deadline parse/emit allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestRequestDeadlineWireRoundTrip drives the deadline through the full
+// request serialization path: stamped on a request, emitted as
+// X-Dist-Deadline, parsed back into the Deadline field (never into the
+// Header slice), and cleared by reset.
+func TestRequestDeadlineWireRoundTrip(t *testing.T) {
+	const ns = int64(1757300000123456789)
+	req := &Request{
+		Method: "GET", Target: "/a.html", Path: "/a.html", Proto: Proto11,
+		Header:   NewHeader("Host", "x"),
+		TraceID:  0xabc,
+		Deadline: ns,
+	}
+	var wire bytes.Buffer
+	if err := WriteRequest(&wire, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	if !strings.Contains(wire.String(), "X-Dist-Deadline: ") {
+		t.Fatalf("wire form missing deadline header:\n%s", wire.String())
+	}
+
+	parsed, err := ReadRequest(bufio.NewReader(bytes.NewReader(wire.Bytes())))
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if parsed.Deadline != ns {
+		t.Fatalf("parsed deadline = %d, want %d", parsed.Deadline, ns)
+	}
+	if v := parsed.Header.Get("X-Dist-Deadline"); v != "" {
+		t.Fatalf("deadline leaked into header slice: %q", v)
+	}
+
+	parsed.reset()
+	if parsed.Deadline != 0 {
+		t.Fatalf("reset kept deadline %d", parsed.Deadline)
+	}
+}
+
+func TestRequestDeadlineAccessors(t *testing.T) {
+	now := time.Unix(100, 0)
+	var r Request
+	if r.DeadlineExpired(now) || !r.DeadlineTime().IsZero() || r.DeadlineRemaining(now) != 0 {
+		t.Fatal("zero request should have no deadline semantics")
+	}
+	r.TightenDeadline(now.Add(time.Second))
+	if r.Deadline != now.Add(time.Second).UnixNano() {
+		t.Fatalf("TightenDeadline from zero: got %d", r.Deadline)
+	}
+	// Tightening later never loosens.
+	r.TightenDeadline(now.Add(2 * time.Second))
+	if r.Deadline != now.Add(time.Second).UnixNano() {
+		t.Fatalf("TightenDeadline loosened to %d", r.Deadline)
+	}
+	r.TightenDeadline(now.Add(500 * time.Millisecond))
+	if r.Deadline != now.Add(500*time.Millisecond).UnixNano() {
+		t.Fatalf("TightenDeadline did not tighten: %d", r.Deadline)
+	}
+	if r.DeadlineExpired(now) {
+		t.Fatal("deadline should not be expired yet")
+	}
+	if got := r.DeadlineRemaining(now); got != 500*time.Millisecond {
+		t.Fatalf("remaining = %v, want 500ms", got)
+	}
+	if !r.DeadlineExpired(now.Add(time.Second)) {
+		t.Fatal("deadline should be expired")
+	}
+}

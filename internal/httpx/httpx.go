@@ -216,6 +216,12 @@ type Request struct {
 	// parsed into (and emitted from) this field rather than the Header
 	// slice, so tracing never allocates a header string on the hot path.
 	TraceID uint64
+	// Deadline carries the in-band X-Dist-Deadline value: the absolute
+	// instant (Unix nanoseconds) after which the client has given up on
+	// this request, 0 when none was propagated. Like TraceID it is a
+	// field, not a header string, so deadline propagation stays
+	// allocation-free; see deadline.go for the helpers.
+	Deadline int64
 }
 
 // reset clears the request for reuse, keeping the header and body backing
@@ -225,6 +231,7 @@ func (r *Request) reset() {
 	r.Header = r.Header[:0]
 	r.Body = r.Body[:0]
 	r.TraceID = 0
+	r.Deadline = 0
 }
 
 // keepAlive implements the shared version-dependent connection rules:
@@ -291,6 +298,12 @@ func internValue(b []byte) string {
 		return "STALE"
 	case "REVALIDATED":
 		return "REVALIDATED"
+	case "critical":
+		return "critical"
+	case "interactive":
+		return "interactive"
+	case "batch":
+		return "batch"
 	}
 	return string(b)
 }
@@ -349,16 +362,20 @@ func canonFieldKey(b []byte) string {
 		return "X-Dist-Trace"
 	case "X-Dist-Span":
 		return "X-Dist-Span"
+	case "X-Dist-Deadline":
+		return "X-Dist-Deadline"
+	case "X-Dist-Class":
+		return "X-Dist-Class"
 	}
 	return string(s)
 }
 
 // readHeaderInto parses header lines into h until the blank separator.
-// The in-band tracing headers are diverted into the trace/span sinks when
-// provided (never materialized as header strings — the zero-alloc keep-
-// alive path depends on that); with a nil sink they land in h like any
-// other field.
-func readHeaderInto(br *bufio.Reader, h *Header, trace, span *uint64) error {
+// The in-band tracing and deadline headers are diverted into the
+// trace/span/deadline sinks when provided (never materialized as header
+// strings — the zero-alloc keep-alive path depends on that); with a nil
+// sink they land in h like any other field.
+func readHeaderInto(br *bufio.Reader, h *Header, trace, span *uint64, deadline *int64) error {
 	for i := 0; ; i++ {
 		if i >= maxHeaderLines {
 			return ErrHeaderTooLarge
@@ -381,6 +398,10 @@ func readHeaderInto(br *bufio.Reader, h *Header, trace, span *uint64) error {
 		}
 		if key == "X-Dist-Span" && span != nil {
 			*span, _ = parseHex(bytes.TrimSpace(line[idx+1:]))
+			continue
+		}
+		if key == "X-Dist-Deadline" && deadline != nil {
+			*deadline, _ = ParseDeadline(bytes.TrimSpace(line[idx+1:]))
 			continue
 		}
 		val := internValue(bytes.TrimSpace(line[idx+1:]))
@@ -433,7 +454,7 @@ func ReadRequestInto(br *bufio.Reader, req *Request) error {
 	req.Target = string(rest[:sp2])
 	req.Path, req.Query, _ = strings.Cut(req.Target, "?")
 
-	if err := readHeaderInto(br, &req.Header, &req.TraceID, nil); err != nil {
+	if err := readHeaderInto(br, &req.Header, &req.TraceID, nil, &req.Deadline); err != nil {
 		return err
 	}
 
@@ -730,7 +751,7 @@ func ReadResponseHeader(br *bufio.Reader) (*Response, error) {
 		return nil, fmt.Errorf("%w: status code %q", ErrMalformedRequest, codeBytes)
 	}
 	resp.StatusCode = int(code)
-	if err := readHeaderInto(br, &resp.Header, &resp.TraceID, &resp.SpanID); err != nil {
+	if err := readHeaderInto(br, &resp.Header, &resp.TraceID, &resp.SpanID, nil); err != nil {
 		return nil, err
 	}
 	if cl := resp.Header.Get("Content-Length"); cl != "" {

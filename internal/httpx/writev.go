@@ -110,6 +110,11 @@ func appendRequestHead(b []byte, req *Request, proto string) []byte {
 		b = strconv.AppendUint(b, req.TraceID, 16)
 		b = append(b, "\r\n"...)
 	}
+	if req.Deadline > 0 {
+		b = append(b, "X-Dist-Deadline: "...)
+		b = AppendDeadline(b, req.Deadline)
+		b = append(b, "\r\n"...)
+	}
 	return append(b, "\r\n"...)
 }
 

@@ -1,4 +1,4 @@
-// Package distlint assembles the repo's analyzer suite: the six checks
+// Package distlint assembles the repo's analyzer suite: the seven checks
 // that machine-enforce the concurrency and data-path invariants the
 // fast-path PRs introduced (see DESIGN.md §10), the per-package scoping
 // rules, and the one sanctioned suppression form
@@ -24,6 +24,7 @@ import (
 	"webcluster/internal/lint/load"
 	"webcluster/internal/lint/lockscope"
 	"webcluster/internal/lint/pooledescape"
+	"webcluster/internal/lint/queuewait"
 	"webcluster/internal/lint/shardaffinity"
 )
 
@@ -46,6 +47,7 @@ func Suite() []*analysis.Analyzer {
 		deadlinecheck.Analyzer,
 		faulthook.Analyzer,
 		lockscope.Analyzer,
+		queuewait.Analyzer,
 		shardaffinity.Analyzer,
 	}
 }
@@ -57,7 +59,9 @@ func Suite() []*analysis.Analyzer {
 // deadlines, the management plane and monitor whose wedged calls the
 // chaos suite exercises. shardaffinity is scoped to the sharded data
 // plane; httpx itself is exempt so its process-wide defaultPools (the
-// pool set for callers without a shard) stays legal.
+// pool set for callers without a shard) stays legal. queuewait is
+// scoped to the admission subsystem, whose parked waiters must always
+// have a timed way out.
 var scopes = map[string][]string{
 	"deadlinecheck": {
 		"internal/distributor",
@@ -80,6 +84,9 @@ var scopes = map[string][]string{
 		"internal/backend",
 		"internal/nfs",
 		"internal/l4router",
+	},
+	"queuewait": {
+		"internal/admission",
 	},
 }
 

@@ -1,0 +1,152 @@
+// Package queuewait enforces the bounded-wait rule the admission
+// subsystem is built on: a goroutine parked on a queue must always
+// have a way out, so an overload never strands waiters behind a wake
+// signal that never comes. Concretely, every channel wait must be
+// bounded:
+//
+//  1. A bare receive (`<-ch` outside a select) is always flagged — the
+//     sender crashing, shedding the waiter, or simply forgetting the
+//     handoff leaks the goroutine forever.
+//  2. A select with no escape hatch is flagged. An escape hatch is a
+//     default case, a timer case (`<-t.C` for a time.Timer/Ticker, or
+//     `<-time.After(...)`), or a cancellation case (`<-ctx.Done()`).
+//  3. Ranging over a channel is flagged: each iteration is an
+//     unbounded bare receive in disguise.
+//
+// Receives directly from a timer or cancellation channel are exempt
+// everywhere — they are the bound, not the wait.
+package queuewait
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"webcluster/internal/lint/analysis"
+	"webcluster/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "queuewait",
+	Doc: "check that every channel wait is bounded by a timeout, " +
+		"default, or cancellation case",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectStmt:
+				checkSelect(pass, v)
+				// Descend only into the case bodies: the comm statements
+				// themselves are the select's waits, already judged above.
+				for _, c := range v.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, stmt := range cc.Body {
+							ast.Inspect(stmt, visit)
+						}
+					}
+				}
+				return false
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW && !boundedSource(pass, v.X) {
+					pass.Reportf(v.Pos(), "bare channel receive waits without a timeout; use a select with a timer, default, or cancellation case")
+				}
+			case *ast.RangeStmt:
+				if isChan(lintutil.TypeOf(pass.TypesInfo, v.X)) {
+					pass.Reportf(v.Pos(), "ranging over a channel waits without a timeout between messages; receive in a select with a timer, default, or cancellation case")
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil
+}
+
+// checkSelect flags a select statement with no escape hatch: every
+// case is an unbounded channel operation, so the whole statement can
+// park forever.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return // default case: never blocks
+		}
+		if recv := commReceive(cc.Comm); recv != nil && boundedSource(pass, recv) {
+			return // timer or cancellation case bounds the wait
+		}
+	}
+	pass.Reportf(sel.Pos(), "select has no default, timer, or cancellation case; the wait is unbounded")
+}
+
+// commReceive returns the received-from channel expression of a comm
+// clause statement, or nil for a send.
+func commReceive(stmt ast.Stmt) ast.Expr {
+	var rhs ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		rhs = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+	}
+	if ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+		return ue.X
+	}
+	return nil
+}
+
+// boundedSource reports whether the channel expression e is inherently
+// bounded: a time.Timer/Ticker channel, time.After/time.Tick, or a
+// context-style Done() cancellation channel.
+func boundedSource(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		name := lintutil.CalleeName(x)
+		if name == "Done" {
+			return true
+		}
+		if (name == "After" || name == "Tick") && isTimePkgCall(pass, x) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "C" {
+			t := lintutil.TypeOf(pass.TypesInfo, x.X)
+			if lintutil.IsNamed(t, "time", "Timer") || lintutil.IsNamed(t, "time", "Ticker") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTimePkgCall reports whether call is a selector call rooted at the
+// imported "time" package.
+func isTimePkgCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := lintutil.ObjectOf(pass.TypesInfo, id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+// isChan reports whether t is a channel type.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

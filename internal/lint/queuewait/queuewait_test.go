@@ -1,0 +1,12 @@
+package queuewait_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/linttest"
+	"webcluster/internal/lint/queuewait"
+)
+
+func TestQueueWait(t *testing.T) {
+	linttest.Run(t, "testdata/a", queuewait.Analyzer)
+}

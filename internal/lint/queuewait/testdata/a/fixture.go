@@ -1,0 +1,115 @@
+// Fixture for the queuewait analyzer: every channel wait must be
+// bounded by a timeout, default, or cancellation case. The allowed
+// patterns mirror internal/admission's waiter handoff: park in a
+// select whose other arm is a timer.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// --- flagged ---
+
+func bareReceive(ch chan struct{}) {
+	<-ch // want `bare channel receive waits without a timeout`
+}
+
+func bareReceiveAssign(ch chan int) int {
+	v := <-ch // want `bare channel receive waits without a timeout`
+	return v
+}
+
+func unboundedSelect(a, b chan int) int {
+	select { // want `select has no default, timer, or cancellation case`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func rangeOverChannel(ch chan int) int {
+	var sum int
+	for v := range ch { // want `ranging over a channel waits without a timeout`
+		sum += v
+	}
+	return sum
+}
+
+func nestedInSelectBody(ch, inner chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ch:
+		<-inner // want `bare channel receive waits without a timeout`
+	case <-t.C:
+	}
+}
+
+// --- allowed ---
+
+// timerSelect is the admission waiter pattern: park until woken or the
+// class's max queue wait elapses.
+func timerSelect(ch chan struct{}, maxWait time.Duration) bool {
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func defaultSelect(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func afterSelect(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-time.After(time.Second):
+		return false
+	}
+}
+
+func cancellationSelect(ctx context.Context, ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// bareTimerReceive: the timer channel is the bound, not the wait.
+func bareTimerReceive(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+}
+
+func bareTickerReceive(tk *time.Ticker) {
+	<-tk.C
+}
+
+func bareAfterReceive() {
+	<-time.After(time.Millisecond)
+}
+
+func bareDoneReceive(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// suppressedReceive shows the sanctioned escape for a wait that is
+// provably woken (e.g. the closer holds no locks and cannot fail).
+func suppressedReceive(ch chan struct{}) {
+	//distlint:ignore queuewait fixture exercises the suppression form
+	<-ch
+}

@@ -59,6 +59,10 @@ type Frontend struct {
 	// processing time — the simulation's stand-in for the distributor's
 	// §3.3 load tracking.
 	observer RequestObserver
+
+	// adm, when non-nil, gates arrivals through the simulated SLO-class
+	// admission ladder (EnableAdmission); nil routes every request.
+	adm *frontAdmission
 }
 
 // RequestObserver receives each completed request's routing outcome.
@@ -105,31 +109,11 @@ func (f *Frontend) NoRoute() uint64 { return f.noRoute }
 
 // Route sends one request through the front end to a back end and calls
 // done(ok) after the response has been relayed back through the front
-// end.
+// end. Requests routed this way are interactive-class; a stale-degraded
+// answer still counts as ok (the client got bytes).
 func (f *Frontend) Route(obj content.Object, done func(ok bool)) {
-	var decisionCost = f.hw.L4ForwardCPU
-	if f.kind == FrontContentAware {
-		decisionCost = f.hw.RouteLookupCPU
-	}
-	f.CPU.Enqueue(decisionCost, func() {
-		node, err := f.pick(obj)
-		if err != nil {
-			f.noRoute++
-			done(false)
-			return
-		}
-		f.routed++
-		started := f.eng.Now()
-		node.Serve(obj, func(ok bool) {
-			if f.observer != nil {
-				f.observer(node.Spec.ID, obj.Class, f.eng.Now()-started)
-			}
-			// Relay the response bytes back through the front end,
-			// chunked for fair link sharing.
-			relay := bytesTime(obj.Size, f.hw.FrontendRelayBytesPerSec)
-			chunk := bytesTime(64<<10, f.hw.FrontendRelayBytesPerSec)
-			f.NIC.EnqueueChunked(relay, chunk, func() { done(ok) })
-		})
+	f.RouteSLO(obj, SLOInteractive, func(o RouteOutcome) {
+		done(o == RouteOK || o == RouteStale)
 	})
 }
 

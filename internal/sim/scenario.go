@@ -42,6 +42,10 @@ type ScenarioOptions struct {
 	AutoBalance bool
 	// Planner tunes the auto-replication planner.
 	Planner loadbal.PlannerOptions
+	// Admission, when non-nil, arms the front end's simulated SLO-class
+	// admission gate: each workload class maps to its sloClass and the
+	// shedding ladder engages under overload. Nil routes everything.
+	Admission *AdmissionParams
 }
 
 // DefaultScenarioOptions returns the standard scenario deployment: the
@@ -127,6 +131,9 @@ func RunScenario(spec *workload.Spec, opts ScenarioOptions) (*Timeline, error) {
 	cluster.Frontend.SetObserver(func(node config.NodeID, class content.Class, procTime time.Duration) {
 		r.tracker.Record(node, class, procTime)
 	})
+	if opts.Admission != nil {
+		cluster.Frontend.EnableAdmission(*opts.Admission)
+	}
 
 	// Interval closers first: at a shared timestamp they must run before
 	// any same-instant completion (engine FIFO gives setup-time events
@@ -204,6 +211,11 @@ type scenarioRun struct {
 	intervalStart time.Duration
 	reqs, errs    int64
 	lat           []time.Duration
+	// Per-SLO-class accumulators: latency over served (OK or stale)
+	// requests, admission sheds, and stale-degraded serves.
+	classLat  [NumSLOClasses][]time.Duration
+	classShed [NumSLOClasses]int64
+	staleSrv  int64
 
 	lastHits, lastMisses int64
 
@@ -220,6 +232,7 @@ type classDriver struct {
 	sampler workload.Sampler
 	zipf    *workload.Zipf
 	mult    float64
+	slo     SLOClass
 }
 
 // startClass builds and schedules the class at index i.
@@ -236,7 +249,11 @@ func (r *scenarioRun) startClass(i int) error {
 	if err != nil {
 		return fmt.Errorf("sim: classes[%d]: %w", i, err)
 	}
-	c := &classDriver{run: r, spec: cs, zipf: z, mult: 1}
+	slo, err := ParseSLOClass(cs.SloClass)
+	if err != nil {
+		return fmt.Errorf("sim: classes[%d]: %w", i, err)
+	}
+	c := &classDriver{run: r, spec: cs, zipf: z, mult: 1, slo: slo}
 	if cs.Arrival.Process == workload.ProcessClosed {
 		r.classes = append(r.classes, c)
 		for k := 0; k < cs.Arrival.Clients; k++ {
@@ -247,8 +264,8 @@ func (r *scenarioRun) startClass(i int) error {
 					return
 				}
 				started := r.eng.Now()
-				r.cluster.Frontend.Route(client.draw(), func(ok bool) {
-					r.record(started, r.eng.Now(), ok)
+				r.cluster.Frontend.RouteSLO(client.draw(), client.slo, func(o RouteOutcome) {
+					r.record(started, r.eng.Now(), client.slo, o)
 					if think := cs.Arrival.Think.D(); think > 0 {
 						r.eng.Schedule(think, issue)
 						return
@@ -291,8 +308,8 @@ func (c *classDriver) loop() {
 			return
 		}
 		started := r.eng.Now()
-		r.cluster.Frontend.Route(c.draw(), func(ok bool) {
-			r.record(started, r.eng.Now(), ok)
+		r.cluster.Frontend.RouteSLO(c.draw(), c.slo, func(o RouteOutcome) {
+			r.record(started, r.eng.Now(), c.slo, o)
 		})
 		c.loop()
 	})
@@ -304,15 +321,29 @@ func (c *classDriver) draw() content.Object {
 	return c.run.site.ByRank(c.run.perm.Apply(c.zipf.Next()))
 }
 
-// record accumulates one completed request into the current interval.
-func (r *scenarioRun) record(started, finished time.Duration, ok bool) {
+// record accumulates one completed request into the current interval. A
+// stale-degraded answer counts as a success (the client got bytes); a
+// shed or unroutable request counts as an error. Per-class latency only
+// accumulates over served requests — a shed costs the client a refusal,
+// not a latency sample.
+func (r *scenarioRun) record(started, finished time.Duration, slo SLOClass, o RouteOutcome) {
 	if r.finished {
 		return
 	}
 	r.reqs++
 	r.totalReqs++
 	r.lat = append(r.lat, finished-started)
-	if !ok {
+	switch o {
+	case RouteOK:
+		r.classLat[slo] = append(r.classLat[slo], finished-started)
+	case RouteStale:
+		r.classLat[slo] = append(r.classLat[slo], finished-started)
+		r.staleSrv++
+	case RouteShed:
+		r.classShed[slo]++
+		r.errs++
+		r.totalErrs++
+	default: // RouteError
 		r.errs++
 		r.totalErrs++
 	}
@@ -357,6 +388,11 @@ func (r *scenarioRun) closeInterval(at time.Duration) {
 		Replicas:     r.replicaCount(),
 		CacheHitRate: hitRate,
 		DownNodes:    r.downNodes,
+		ClassShed:    r.classShed,
+		StaleServed:  r.staleSrv,
+	}
+	for i := range point.ClassP99 {
+		point.ClassP99[i] = latQuantile(r.classLat[i], 0.99)
 	}
 	if width > 0 {
 		point.RPS = float64(r.reqs) / width.Seconds()
@@ -365,6 +401,11 @@ func (r *scenarioRun) closeInterval(at time.Duration) {
 	r.intervalStart = at
 	r.reqs, r.errs = 0, 0
 	r.lat = r.lat[:0]
+	for i := range r.classLat {
+		r.classLat[i] = r.classLat[i][:0]
+	}
+	r.classShed = [NumSLOClasses]int64{}
+	r.staleSrv = 0
 
 	if at >= r.end {
 		r.finished = true

@@ -119,16 +119,22 @@ func TestTimelineCSVGolden(t *testing.T) {
 				LoadCV: 0.25, Replicas: 2200, CacheHitRate: 0.9633},
 			{Index: 1, Start: 2 * time.Minute, End: 4 * time.Minute, Requests: 1180, Errors: 3,
 				RPS: 9.8333, P50: 2 * time.Millisecond, P99: 35*time.Millisecond + 400*time.Microsecond,
-				LoadCV: 1.5, Replicas: 2301, CacheHitRate: 0.9997, DownNodes: 1},
+				LoadCV: 1.5, Replicas: 2301, CacheHitRate: 0.9997, DownNodes: 1,
+				ClassP99: [NumSLOClasses]time.Duration{
+					12 * time.Millisecond, 35 * time.Millisecond, 80 * time.Millisecond,
+				},
+				ClassShed:   [NumSLOClasses]int64{0, 2, 41},
+				StaleServed: 17},
 		},
 	}
 	var b strings.Builder
 	if err := tl.WriteCSV(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := "interval,start_s,end_s,requests,errors,rps,p50_ms,p99_ms,load_cv,replicas,cache_hit,down_nodes\n" +
-		"0,0.000,120.000,1200,0,10.000,1.500,20.000,0.2500,2200,0.9633,0\n" +
-		"1,120.000,240.000,1180,3,9.833,2.000,35.400,1.5000,2301,0.9997,1\n"
+	want := "interval,start_s,end_s,requests,errors,rps,p50_ms,p99_ms,load_cv,replicas,cache_hit,down_nodes," +
+		"crit_p99_ms,inter_p99_ms,batch_p99_ms,crit_shed,inter_shed,batch_shed,stale_served\n" +
+		"0,0.000,120.000,1200,0,10.000,1.500,20.000,0.2500,2200,0.9633,0,0.000,0.000,0.000,0,0,0,0\n" +
+		"1,120.000,240.000,1180,3,9.833,2.000,35.400,1.5000,2301,0.9997,1,12.000,35.000,80.000,0,2,41,17\n"
 	if b.String() != want {
 		t.Fatalf("CSV drifted from golden format:\ngot:\n%swant:\n%s", b.String(), want)
 	}

@@ -29,6 +29,15 @@ type TimelinePoint struct {
 	CacheHitRate float64
 	// DownNodes is how many nodes were out of service at interval close.
 	DownNodes int
+	// ClassP99 holds per-SLO-class p99 latency over served requests
+	// (indexed by SLOClass: critical, interactive, batch). Zero for a
+	// class with no traffic in the interval.
+	ClassP99 [NumSLOClasses]time.Duration
+	// ClassShed counts requests refused by admission control per class.
+	ClassShed [NumSLOClasses]int64
+	// StaleServed counts interactive requests degraded to front-end
+	// stale answers during the interval.
+	StaleServed int64
 }
 
 // Timeline is the full per-interval series of one scenario replay.
@@ -52,7 +61,8 @@ type Timeline struct {
 
 // TimelineCSVHeader is the emitted column set. Each row is one interval:
 // times in seconds of virtual time, latencies in milliseconds.
-const TimelineCSVHeader = "interval,start_s,end_s,requests,errors,rps,p50_ms,p99_ms,load_cv,replicas,cache_hit,down_nodes"
+const TimelineCSVHeader = "interval,start_s,end_s,requests,errors,rps,p50_ms,p99_ms,load_cv,replicas,cache_hit,down_nodes," +
+	"crit_p99_ms,inter_p99_ms,batch_p99_ms,crit_shed,inter_shed,batch_shed,stale_served"
 
 // WriteCSV emits the timeline in the fixed format the benchfigs tooling
 // plots. Output is byte-deterministic for a deterministic timeline.
@@ -60,7 +70,7 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, TimelineCSVHeader)
 	for _, p := range t.Points {
-		fmt.Fprintf(bw, "%d,%.3f,%.3f,%d,%d,%.3f,%.3f,%.3f,%.4f,%d,%.4f,%d\n",
+		fmt.Fprintf(bw, "%d,%.3f,%.3f,%d,%d,%.3f,%.3f,%.3f,%.4f,%d,%.4f,%d,%.3f,%.3f,%.3f,%d,%d,%d,%d\n",
 			p.Index,
 			p.Start.Seconds(), p.End.Seconds(),
 			p.Requests, p.Errors,
@@ -71,6 +81,13 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 			p.Replicas,
 			p.CacheHitRate,
 			p.DownNodes,
+			float64(p.ClassP99[SLOCritical])/float64(time.Millisecond),
+			float64(p.ClassP99[SLOInteractive])/float64(time.Millisecond),
+			float64(p.ClassP99[SLOBatch])/float64(time.Millisecond),
+			p.ClassShed[SLOCritical],
+			p.ClassShed[SLOInteractive],
+			p.ClassShed[SLOBatch],
+			p.StaleServed,
 		)
 	}
 	return bw.Flush()

@@ -88,6 +88,10 @@ type ClassSpec struct {
 	Arrival ArrivalSpec `json:"arrival"`
 	// ZipfS is the class's popularity skew (0 = DefaultZipfS).
 	ZipfS float64 `json:"zipfS,omitempty"`
+	// SloClass maps this population onto an admission SLO class:
+	// critical | interactive | batch. Empty means interactive (the
+	// admission default for unclassified traffic).
+	SloClass string `json:"sloClass,omitempty"`
 	// Seed offsets this class's random streams from Spec.Seed; classes
 	// with equal offsets still differ (the class index is mixed in).
 	Seed int64 `json:"seed,omitempty"`
@@ -266,6 +270,11 @@ func (s *Spec) Validate() error {
 		seen[c.ID] = true
 		if c.ZipfS < 0 {
 			return bad(path+".zipfS", "negative zipf exponent %g", c.ZipfS)
+		}
+		switch c.SloClass {
+		case "", "critical", "interactive", "batch":
+		default:
+			return bad(path+".sloClass", "unknown SLO class %q (want critical|interactive|batch)", c.SloClass)
 		}
 		a := c.Arrival
 		switch a.Process {
@@ -452,6 +461,32 @@ func FlashCrowdScenario() *Spec {
 	}
 }
 
+// SurgeScenario is the built-in overload-control evaluation: three SLO
+// populations — checkout traffic (critical), browsers (interactive) and
+// crawlers (batch) — over a Workload A site, with a 10x flash-crowd
+// surge mid-run. Run with admission enabled, the surge intervals must
+// show batch being shed and stale answers absorbing interactive
+// pressure while the critical class's p99 stays bounded; with admission
+// off the same surge degrades every class alike.
+func SurgeScenario() *Spec {
+	return &Spec{
+		Name:     "surge",
+		Seed:     11,
+		Workload: "A",
+		Objects:  2000,
+		Duration: Duration(30 * time.Minute),
+		Interval: Duration(2 * time.Minute),
+		Classes: []ClassSpec{
+			{ID: "checkout", Arrival: ArrivalSpec{Process: ProcessPoisson, RatePerSec: 50}, ZipfS: 1.1, SloClass: "critical"},
+			{ID: "browsers", Arrival: ArrivalSpec{Process: ProcessPoisson, RatePerSec: 250}, ZipfS: 0.9, SloClass: "interactive"},
+			{ID: "crawlers", Arrival: ArrivalSpec{Process: ProcessGamma, RatePerSec: 150, CV: 2.0}, ZipfS: 0.4, SloClass: "batch"},
+		},
+		Events: []EventSpec{
+			{At: Duration(12 * time.Minute), Kind: EventFlashCrowd, HotObjects: 8, X: 10, Duration: Duration(8 * time.Minute)},
+		},
+	}
+}
+
 // BuiltinScenario returns a named built-in spec.
 func BuiltinScenario(name string) (*Spec, error) {
 	switch name {
@@ -459,7 +494,9 @@ func BuiltinScenario(name string) (*Spec, error) {
 		return DayScenario(), nil
 	case "flash-crowd":
 		return FlashCrowdScenario(), nil
+	case "surge":
+		return SurgeScenario(), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown built-in scenario %q (want day|flash-crowd)", name)
+		return nil, fmt.Errorf("workload: unknown built-in scenario %q (want day|flash-crowd|surge)", name)
 	}
 }

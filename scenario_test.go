@@ -165,6 +165,77 @@ func TestScenarioDayLong(t *testing.T) {
 	}
 }
 
+// The overload-control acceptance bar: a ×10 flash crowd hits the
+// surge scenario's three SLO classes while admission control is on.
+// Graceful degradation means the batch class absorbs the damage
+// (shed with 503s), interactive browsers degrade to stale front-end
+// answers, and the critical checkout class keeps its p99 within 2x of
+// the pre-surge tail without a single critical request refused.
+// Runs under -race via `make chaos`.
+func TestChaosSurgeGracefulDegradation(t *testing.T) {
+	spec := workload.SurgeScenario()
+	spec.TimeScale = 2 // rates — and therefore overload — are preserved; only exposure shrinks
+
+	opts := sim.DefaultScenarioOptions()
+	opts.Admission = &sim.AdmissionParams{MaxConcurrent: 10, CriticalHeadroom: 4}
+	tl, err := sim.RunScenario(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Points) != 15 {
+		t.Fatalf("30m at 2m intervals should yield 15 points, got %d", len(tl.Points))
+	}
+
+	// The ×10 surge occupies intervals 6–9 (12m–20m of the 30m span).
+	const surgeFrom, surgeTo = 6, 10
+	pre := tl.MeanRPS(0, surgeFrom)
+	surge := tl.MeanRPS(surgeFrom, surgeTo)
+	if surge < 4*pre {
+		t.Fatalf("surge throughput %.1f req/s vs pre %.1f — the ×10 flash crowd is not arriving", surge, pre)
+	}
+
+	var preCritP99, surgeCritP99 time.Duration
+	var surgeBatchShed, surgeStale int64
+	for _, p := range tl.Points {
+		// Never, anywhere: critical requests must not be refused.
+		if p.ClassShed[sim.SLOCritical] != 0 {
+			t.Fatalf("interval %d shed %d critical requests; critical must never be refused",
+				p.Index, p.ClassShed[sim.SLOCritical])
+		}
+		switch {
+		case p.Index < surgeFrom:
+			if p.ClassP99[sim.SLOCritical] > preCritP99 {
+				preCritP99 = p.ClassP99[sim.SLOCritical]
+			}
+		case p.Index < surgeTo:
+			if p.ClassP99[sim.SLOCritical] > surgeCritP99 {
+				surgeCritP99 = p.ClassP99[sim.SLOCritical]
+			}
+			if p.ClassShed[sim.SLOBatch] == 0 {
+				t.Errorf("surge interval %d shed no batch traffic — admission control is not engaging", p.Index)
+			}
+			surgeBatchShed += p.ClassShed[sim.SLOBatch]
+			surgeStale += p.StaleServed
+		}
+	}
+
+	// Headline: the critical class rides out a ×10 overload with its
+	// tail within 2x of steady state.
+	if surgeCritP99 > 2*preCritP99 {
+		t.Fatalf("critical p99 %v during the surge vs %v before it — want within 2x", surgeCritP99, preCritP99)
+	}
+	if surgeBatchShed == 0 {
+		t.Fatal("no batch requests shed during the surge — the shedding ladder never engaged")
+	}
+	// Interactive degradation is visible: stale front-end answers stand
+	// in for refused full service.
+	if surgeStale == 0 {
+		t.Fatal("no interactive requests degraded to stale during the surge")
+	}
+	t.Logf("pre-surge critical p99 %v, surge critical p99 %v (%.2fx), batch shed %d, stale served %d",
+		preCritP99, surgeCritP99, float64(surgeCritP99)/float64(preCritP99), surgeBatchShed, surgeStale)
+}
+
 // The example spec files in examples/scenarios/ are documentation that
 // must never drift from the built-ins they mirror.
 func TestExampleScenarioFilesMatchBuiltins(t *testing.T) {
@@ -174,6 +245,7 @@ func TestExampleScenarioFilesMatchBuiltins(t *testing.T) {
 	}{
 		{"examples/scenarios/day.json", workload.DayScenario()},
 		{"examples/scenarios/flashcrowd.json", workload.FlashCrowdScenario()},
+		{"examples/scenarios/surge.json", workload.SurgeScenario()},
 	}
 	for _, tc := range cases {
 		got, err := workload.LoadSpec(tc.path)
