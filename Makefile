@@ -45,8 +45,9 @@ build:
 test:
 	$(GO) test ./...
 
-# Full suite under the race detector; -short keeps the slow simulation
-# benchmarks out of the hot path (matches the CI gate).
+# Local race lane: -short keeps the slow simulation tests out of the
+# edit-compile loop. CI's dedicated race job runs the full suite
+# (`go test -race ./...`) without -short.
 race:
 	$(GO) test -race -short ./...
 

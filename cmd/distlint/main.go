@@ -1,20 +1,33 @@
 // Command distlint runs the repo's analyzer suite (see internal/lint)
 // over the module: pooledescape, cowdiscipline, deadlinecheck,
-// faulthook, lockscope, queuewait, and shardaffinity — the checks that
-// machine-enforce the concurrency and data-path invariants of the hot
-// paths.
+// faulthook, leakcheck, lockscope, queuewait, and shardaffinity — the
+// checks that machine-enforce the concurrency and data-path invariants
+// of the hot paths.
 //
 // Usage:
 //
-//	distlint [-v] [packages...]
+//	distlint [-v] [-json] [packages...]
 //
 // With no arguments every package in the module is checked (testdata
 // and the lint framework itself excluded). Package arguments are import
 // paths relative to the module root, e.g. internal/distributor.
 // Exits non-zero when any finding is reported.
+//
+// All packages of one invocation share a single analysis module, so
+// the interprocedural analyzers see the whole call graph, analyzer
+// facts flow between packages, and every //distlint:ignore directive
+// is audited: one that names an unknown analyzer or no longer
+// suppresses anything is itself a finding.
+//
+// -json emits the findings as a JSON array on stdout (one object per
+// finding: analyzer, file, line, col, message) for tooling; the
+// default text format file:line:col: analyzer: message is what the CI
+// problem matcher (.github/problem-matcher-distlint.json) parses to
+// annotate PR diffs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +39,21 @@ import (
 	"webcluster/internal/lint/load"
 )
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	verbose := flag.Bool("v", false, "print every package as it is checked")
 	list := flag.Bool("list", false, "list the analyzers and their docs, then exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-v] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: distlint [-v] [-json] [packages...]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,40 +76,65 @@ func main() {
 	}
 	loader := load.NewLoader(root, modPath)
 
-	pkgs := flag.Args()
-	if len(pkgs) == 0 {
-		pkgs, err = modulePackages(root)
+	rels := flag.Args()
+	if len(rels) == 0 {
+		rels, err = modulePackages(root)
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	total := 0
-	for _, rel := range pkgs {
+	var pkgs []*load.Package
+	for _, rel := range rels {
 		rel = strings.TrimPrefix(rel, "./")
 		importPath := modPath + "/" + filepath.ToSlash(rel)
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "distlint: checking %s\n", importPath)
+			fmt.Fprintf(os.Stderr, "distlint: loading %s\n", importPath)
 		}
 		pkg, err := loader.LoadDir(filepath.Join(root, rel), importPath)
 		if err != nil {
 			fatal(err)
 		}
-		findings, err := distlint.Run(pkg, suite)
-		if err != nil {
+		pkgs = append(pkgs, pkg)
+	}
+
+	runner := distlint.NewRunner(loader, suite)
+	runner.Audit = true
+	findings, err := runner.Run(pkgs...)
+	if err != nil {
+		fatal(err)
+	}
+	// Report paths relative to the module root so output is stable
+	// across checkouts (and matchable by the CI problem matcher).
+	for i := range findings {
+		if r, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = r
+		}
+	}
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     filepath.ToSlash(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
+	} else {
 		for _, f := range findings {
-			rf := f
-			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-				rf.Pos.Filename = r
-			}
-			fmt.Println(rf)
+			fmt.Println(f)
 		}
-		total += len(findings)
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "distlint: %d finding(s)\n", total)
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "distlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -56,6 +56,7 @@ func main() {
 	admitTarget := flag.Duration("admit-target", 0, "admission queue-delay target before shedding engages (0 = default 5ms)")
 	flag.Parse()
 	if *pprofAddr != "" {
+		//distlint:ignore leakcheck pprof listener is process-lifetime by design; it dies with main
 		go func() {
 			// DefaultServeMux carries the pprof handlers from the blank
 			// import; nothing else registers on it in this process.

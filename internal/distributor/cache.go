@@ -102,6 +102,7 @@ func (d *Distributor) writeCached(client net.Conn, key conntrack.ClientKey, req 
 			}
 		}
 	}
+	//distlint:ignore cowdiscipline ServeStored borrows the published snapshot read-only; nothing writes through the pointer
 	err := httpx.ServeStored(client, &e.Stored, httpx.ServeOptions{
 		Proto:       req.Proto,
 		Head:        req.Method == "HEAD",

@@ -3,12 +3,15 @@
 // are written against. The container this repo builds in has no module
 // proxy access, so the real x/tools packages cannot be vendored; this
 // package mirrors the shape of the upstream API (Analyzer, Pass,
-// Diagnostic, Reportf) closely enough that the analyzers port to the
-// upstream framework by changing one import line.
+// Diagnostic, Reportf, Fact) closely enough that the analyzers port to
+// the upstream framework by changing one import line.
 //
-// Only the subset distlint needs is implemented: no facts, no analyzer
-// dependencies, no SSA. Each analyzer receives one fully type-checked
-// package per Pass and reports position-anchored diagnostics.
+// Since distlint v2 the package is interprocedural: a Module holds a
+// call graph and per-function summaries over every package of one lint
+// run, passes carry the Module, and analyzers can export Facts on
+// objects and packages that downstream passes import (see facts.go,
+// callgraph.go, summary.go). Analyzer dependencies and SSA remain
+// unimplemented.
 package analysis
 
 import (
@@ -16,6 +19,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"webcluster/internal/lint/load"
 )
 
 // Analyzer describes one static check: a name (the suppression key), a
@@ -30,6 +35,11 @@ type Analyzer struct {
 	// Run performs the check on one package and reports findings via
 	// pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes lists the fact types this analyzer exports/imports, as
+	// zero values. Declaring them is what makes the driver run the
+	// analyzer over every package in dependency order (facts must exist
+	// for a package's imports before the package itself is analyzed).
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding: a position in the analyzed package and a
@@ -47,6 +57,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module is the shared interprocedural state of the run: call graph,
+	// summaries, facts. Always non-nil; single-package runs get a module
+	// containing just that package.
+	Module *Module
+	// Unit is the loaded package under analysis (syntax + types + dir).
+	Unit *load.Package
+
 	diagnostics []Diagnostic
 }
 
@@ -58,18 +75,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes a on the package described by (fset, files, pkg, info)
-// and returns its diagnostics.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// Run executes a on pkg within the module: the package is added to the
+// call graph (idempotent), the pass sees the module's accumulated facts
+// and summaries, and the diagnostics are returned.
+func (m *Module) Run(a *Analyzer, pkg *load.Package) ([]Diagnostic, error) {
+	m.Add(pkg)
 	pass := &Pass{
 		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Module:    m,
+		Unit:      pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
 	return pass.diagnostics, nil
+}
+
+// Run executes a on a single package in a fresh one-package module.
+// Kept for callers that analyze packages in isolation; interprocedural
+// context (cross-package facts, lazily pulled dependencies) requires
+// building a Module and using its Run.
+func Run(a *Analyzer, pkg *load.Package) ([]Diagnostic, error) {
+	return NewModule().Run(a, pkg)
 }

@@ -22,6 +22,7 @@ package cowdiscipline
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 
 	"webcluster/internal/lint/analysis"
@@ -33,8 +34,19 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "check that no value reached from atomic.Pointer.Load (or marked " +
 		"distlint:cow) is written through — copy-on-write structures are " +
 		"mutated via clones and republished with Store",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{new(CowTypesFact)},
 }
+
+// CowTypesFact is a package fact listing the qualified names
+// (pkgpath.Type) of types whose declarations carry the `distlint:cow`
+// doc marker. Doc comments are only visible in the declaring package's
+// syntax; the fact makes the marker enforceable in every downstream
+// package, where previously only the COWMarker-method form crossed
+// package boundaries.
+type CowTypesFact struct{ Names []string }
+
+func (*CowTypesFact) AFact() {}
 
 func run(pass *analysis.Pass) error {
 	marked := markedTypes(pass)
@@ -72,6 +84,25 @@ func markedTypes(pass *analysis.Pass) map[string]bool {
 				if doc != nil && strings.Contains(doc.Text(), "distlint:cow") {
 					marked[pass.Pkg.Path()+"."+ts.Name.Name] = true
 				}
+			}
+		}
+	}
+	// Publish this package's markers and pull in those of every import,
+	// so a snapshot type defined in urltable is protected when a caller
+	// in the distributor writes through it.
+	if len(marked) > 0 {
+		names := make([]string, 0, len(marked))
+		for name := range marked {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		pass.ExportPackageFact(&CowTypesFact{Names: names})
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var f CowTypesFact
+		if pass.ImportPackageFact(imp, &f) {
+			for _, name := range f.Names {
+				marked[name] = true
 			}
 		}
 	}

@@ -11,11 +11,19 @@
 //  2. A connection dialed locally (any call whose first result is a
 //     net.Conn, except Accept) must have SetDeadline /
 //     SetReadDeadline / SetWriteDeadline called on it — or be handed to
-//     a same-package function that arms a deadline on its parameter —
-//     before any I/O through it or a wrapper derived from it
-//     (bufio.NewReader, json.NewEncoder, ...). Returning the
-//     connection or storing it into a struct transfers the obligation
-//     to the new owner.
+//     a function that arms a deadline on its parameter — before any
+//     I/O through it or a wrapper derived from it (bufio.NewReader,
+//     json.NewEncoder, ...). Returning the connection or storing it
+//     into a struct transfers the obligation to the new owner.
+//
+//     Since distlint v2 this rule is interprocedural: "dialed locally"
+//     includes any helper — in any module package, under any name —
+//     whose call-graph summary says it returns a freshly dialed
+//     connection (the old engine keyed on "Dial" appearing in the
+//     callee name), a helper that arms the deadline inside itself
+//     satisfies the obligation wherever it lives, and a dial helper
+//     that arms the result before returning hands back a connection
+//     that is already bounded.
 //  3. A method on a type with a direct net.Conn field that performs
 //     I/O rooted at the receiver must contain a Set*Deadline call.
 //     Methods named Close*, or named like I/O primitives (thin
@@ -307,10 +315,14 @@ func (t *connTracker) handleAssign(st *ast.AssignStmt) {
 			consumed[ri] = true
 			continue
 		}
-		// conn, err := dial(...): new tracked connection.
-		if call, ok := rhs.(*ast.CallExpr); ok && i == 0 && t.isConnDial(call) {
-			t.state[obj] = &connState{name: id.Name}
-			consumed[ri] = true
+		// conn, err := dial(...): new tracked connection. A dial helper
+		// that arms the result before returning hands back a connection
+		// that is already bounded.
+		if call, ok := rhs.(*ast.CallExpr); ok && i == 0 {
+			if dial, armed := t.isConnDial(call); dial {
+				t.state[obj] = &connState{name: id.Name, armed: armed}
+				consumed[ri] = true
+			}
 		}
 	}
 	for i, rhs := range st.Rhs {
@@ -356,31 +368,40 @@ func (t *connTracker) wrapperSource(e ast.Expr) *connState {
 	return nil
 }
 
-// isConnDial reports whether call produces a new outbound connection:
-// a dial-shaped callee (net.Dial*, a Dialer field, a dialNode helper)
-// whose first result implements net.Conn. Accepted and re-wrapped
-// connections (faults.Conn) are deliberately not treated as new dials:
-// the former are inbound, the latter keep the original's identity.
-func (t *connTracker) isConnDial(call *ast.CallExpr) bool {
+// isConnDial reports whether call produces a new outbound connection,
+// and whether it arrives with a deadline already armed. Two paths: the
+// callee's call-graph summary says it returns a freshly dialed
+// connection (any name, any module package — ArmsResult carries the
+// already-armed case), or the callee is dial-shaped by name (net.Dial*,
+// a Dialer field) with a first result implementing net.Conn. Accepted
+// and re-wrapped connections (faults.Conn) are deliberately not treated
+// as new dials: the former are inbound, the latter keep the original's
+// identity.
+func (t *connTracker) isConnDial(call *ast.CallExpr) (dial, armed bool) {
 	name := lintutil.CalleeName(call)
-	if !strings.Contains(name, "Dial") && !strings.Contains(name, "dial") {
-		return false
-	}
 	if name == "Accept" || name == "AcceptTCP" {
-		return false
+		return false, false
+	}
+	if fn := t.pass.Module.CalleeFunc(t.pass.TypesInfo, call); fn != nil {
+		if s := t.pass.Module.Summary(fn); s != nil && s.DialsConn {
+			return true, s.ArmsResult
+		}
+	}
+	if !strings.Contains(name, "Dial") && !strings.Contains(name, "dial") {
+		return false, false
 	}
 	tv, ok := t.pass.TypesInfo.Types[call]
 	if !ok {
-		return false
+		return false, false
 	}
 	rt := tv.Type
 	if tuple, ok := rt.(*types.Tuple); ok {
 		if tuple.Len() == 0 {
-			return false
+			return false, false
 		}
 		rt = tuple.At(0).Type()
 	}
-	return lintutil.IsNetConn(rt, t.conn)
+	return lintutil.IsNetConn(rt, t.conn), false
 }
 
 func (t *connTracker) handleExpr(e ast.Expr) {
@@ -401,6 +422,14 @@ func (t *connTracker) handleCall(call *ast.CallExpr, deferred bool) {
 				cs.armed = true
 			case safeNames[name]:
 			default:
+				// A method that arms a deadline on its own receiver
+				// (wherever it is declared) satisfies the obligation.
+				if fn := t.pass.Module.CalleeFunc(t.pass.TypesInfo, call); fn != nil {
+					if s := t.pass.Module.Summary(fn); s != nil && s.ArmsRecv {
+						cs.armed = true
+						return
+					}
+				}
 				if !cs.armed && !deferred {
 					t.pass.Reportf(call.Pos(), "I/O on connection %q before any deadline is armed; call SetDeadline (or hand it to an owner that does)", cs.name)
 					cs.armed = true // one report per connection path
@@ -429,11 +458,18 @@ func (t *connTracker) handleCall(call *ast.CallExpr, deferred bool) {
 		if safeNames[name] || armNames[name] {
 			continue
 		}
-		// Handing the connection to a same-package function that arms a
-		// deadline on it transfers the obligation.
+		// Handing the connection to a function that arms a deadline on
+		// it transfers the obligation — same-package armers via the
+		// lexical scan, everything else via call-graph summaries.
 		if callee := t.calleeObj(call); callee != nil && t.armers[callee] {
 			t.drop(cs)
 			continue
+		}
+		if fn := t.pass.Module.CalleeFunc(t.pass.TypesInfo, call); fn != nil {
+			if s := t.pass.Module.Summary(fn); s != nil && t.armsArg(call, cs, s.ArmsParam) {
+				t.drop(cs)
+				continue
+			}
 		}
 		if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Acquire") {
 			continue // constructor — wrapper tracked at the assignment
@@ -443,6 +479,20 @@ func (t *connTracker) handleCall(call *ast.CallExpr, deferred bool) {
 			cs.armed = true
 		}
 	}
+}
+
+// armsArg reports whether cs is passed at a parameter position the
+// callee's summary marks as deadline-armed.
+func (t *connTracker) armsArg(call *ast.CallExpr, cs *connState, armsParam []bool) bool {
+	for i, arg := range call.Args {
+		if i >= len(armsParam) || !armsParam[i] {
+			continue
+		}
+		if t.lookup(arg) == cs {
+			return true
+		}
+	}
+	return false
 }
 
 func (t *connTracker) calleeObj(call *ast.CallExpr) types.Object {

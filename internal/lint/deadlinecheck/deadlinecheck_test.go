@@ -10,3 +10,10 @@ import (
 func TestDeadlineCheck(t *testing.T) {
 	linttest.Run(t, "testdata/a", deadlinecheck.Analyzer)
 }
+
+// TestDeadlineCheckCrossPackage pins the interprocedural upgrades: a
+// dial helper recognized by summary rather than name, and an arming
+// helper recognized by ArmsParam rather than a Set*Deadline spelling.
+func TestDeadlineCheckCrossPackage(t *testing.T) {
+	linttest.RunDirs(t, deadlinecheck.Analyzer, "testdata/netx", "testdata/c")
+}

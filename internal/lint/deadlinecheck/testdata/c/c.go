@@ -1,0 +1,38 @@
+// Cross-package fixture for deadlinecheck: the connection below is
+// obtained through netx.Connect, whose name carries no "dial" — the
+// pre-v2 engine recognized dials only by that spelling in the analyzed
+// body, so the unarmed read was provably unreportable. Likewise the
+// armed variant is discharged by netx.WithDeadline, which is not a
+// Set*Deadline call; only its ArmsParam summary reveals the arming.
+package fixture
+
+import (
+	"webcluster/internal/lint/deadlinecheck/testdata/netx"
+)
+
+// --- flagged ---
+
+func unarmedRead(addr string, buf []byte) error {
+	conn, err := netx.Connect(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Read(buf) // want `I/O on connection "conn" before any deadline is armed`
+	return err
+}
+
+// --- allowed ---
+
+func armedByHelper(addr string, buf []byte) error {
+	conn, err := netx.Connect(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := netx.WithDeadline(conn); err != nil {
+		return err
+	}
+	_, err = conn.Read(buf)
+	return err
+}

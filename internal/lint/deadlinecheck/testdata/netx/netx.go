@@ -1,0 +1,24 @@
+// Package netx is the helper side of the deadlinecheck cross-package
+// fixture. Connect has no "dial" in its name and WithDeadline is not a
+// Set*Deadline method, so the pre-v2 engine — which keyed on those
+// spellings inside the body under analysis — provably missed both the
+// obligation Connect creates and the discharge WithDeadline provides.
+// v2 consults the call-graph summaries: DialsConn on Connect, ArmsParam
+// on WithDeadline.
+package netx
+
+import (
+	"net"
+	"time"
+)
+
+// Connect opens a TCP connection with a bounded connect timeout; the
+// caller owns arming the I/O deadline.
+func Connect(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}
+
+// WithDeadline arms a total deadline on behalf of the caller.
+func WithDeadline(c net.Conn) error {
+	return c.SetDeadline(time.Now().Add(time.Second))
+}

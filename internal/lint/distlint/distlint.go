@@ -1,13 +1,23 @@
-// Package distlint assembles the repo's analyzer suite: the seven checks
+// Package distlint assembles the repo's analyzer suite: the eight checks
 // that machine-enforce the concurrency and data-path invariants the
-// fast-path PRs introduced (see DESIGN.md §10), the per-package scoping
-// rules, and the one sanctioned suppression form
+// fast-path PRs introduced (see DESIGN.md §10 and §15), the per-package
+// scoping rules, and the one sanctioned suppression form
 //
 //	//distlint:ignore <analyzer> <reason>
 //
 // placed on the flagged line or the line directly above it. A
 // suppression without a reason is itself reported, so every silenced
 // finding carries an explanation in the tree.
+//
+// Since distlint v2 the suite runs through a Runner holding one
+// analysis.Module for the whole invocation: packages are analyzed in
+// dependency order so analyzer facts flow from callee packages to their
+// callers, and call-graph summaries give every analyzer interprocedural
+// reach. In audit mode (the whole-module `make lint` run) the Runner
+// also verifies every suppression directive: it must name a known
+// analyzer, carry a reason, and actually suppress a diagnostic — a
+// stale directive is itself a finding, so suppressions cannot outlive
+// the code they excuse.
 package distlint
 
 import (
@@ -21,6 +31,7 @@ import (
 	"webcluster/internal/lint/cowdiscipline"
 	"webcluster/internal/lint/deadlinecheck"
 	"webcluster/internal/lint/faulthook"
+	"webcluster/internal/lint/leakcheck"
 	"webcluster/internal/lint/load"
 	"webcluster/internal/lint/lockscope"
 	"webcluster/internal/lint/pooledescape"
@@ -46,6 +57,7 @@ func Suite() []*analysis.Analyzer {
 		cowdiscipline.Analyzer,
 		deadlinecheck.Analyzer,
 		faulthook.Analyzer,
+		leakcheck.Analyzer,
 		lockscope.Analyzer,
 		queuewait.Analyzer,
 		shardaffinity.Analyzer,
@@ -115,13 +127,16 @@ type ignoreDirective struct {
 	analyzer string
 	reason   string
 	pos      token.Pos
+	// used records whether the directive suppressed at least one
+	// diagnostic during the run; audit mode reports unused directives.
+	used bool
 }
 
-// collectIgnores parses every distlint:ignore directive in the package.
-// Malformed directives (no analyzer, or no reason) are returned
-// separately as findings so they cannot silently disable a check.
-func collectIgnores(pkg *load.Package) (map[string][]ignoreDirective, []Finding) {
-	ignores := make(map[string][]ignoreDirective)
+// collectIgnores parses every distlint:ignore directive in the package
+// into dst (keyed by filename). Malformed directives (no analyzer, or
+// no reason) are returned as findings so they cannot silently disable a
+// check.
+func collectIgnores(pkg *load.Package, dst map[string][]*ignoreDirective) []Finding {
 	var bad []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -141,7 +156,7 @@ func collectIgnores(pkg *load.Package) (map[string][]ignoreDirective, []Finding)
 					})
 					continue
 				}
-				ignores[pos.Filename] = append(ignores[pos.Filename], ignoreDirective{
+				dst[pos.Filename] = append(dst[pos.Filename], &ignoreDirective{
 					file:     pos.Filename,
 					line:     pos.Line,
 					analyzer: fields[0],
@@ -151,42 +166,89 @@ func collectIgnores(pkg *load.Package) (map[string][]ignoreDirective, []Finding)
 			}
 		}
 	}
-	return ignores, bad
+	return bad
 }
 
-// suppressed reports whether diag (from analyzer name) is covered by an
-// ignore directive on its line or the line above.
-func suppressed(name string, pos token.Position, ignores map[string][]ignoreDirective) bool {
+// suppression returns the directive covering diag (from analyzer name):
+// one naming the analyzer (or "all") on its line or the line above.
+func suppression(name string, pos token.Position, ignores map[string][]*ignoreDirective) *ignoreDirective {
 	for _, ig := range ignores[pos.Filename] {
 		if ig.analyzer != name && ig.analyzer != "all" {
 			continue
 		}
 		if ig.line == pos.Line || ig.line == pos.Line-1 {
-			return true
+			return ig
 		}
 	}
-	return false
+	return nil
 }
 
-// Run executes the given analyzers (respecting scope) over pkg and
-// returns the unsuppressed findings, sorted by position.
-func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	ignores, findings := collectIgnores(pkg)
-	for _, a := range analyzers {
-		if !InScope(a.Name, pkg.Path) {
-			continue
+// Runner executes analyzers over a set of packages with one shared
+// analysis.Module: a single call graph, fact store, and summary cache
+// for the whole invocation.
+type Runner struct {
+	Module    *analysis.Module
+	Analyzers []*analysis.Analyzer
+	// Unscoped ignores the per-analyzer package scope map; the fixture
+	// runner sets it because fixtures live under testdata import paths
+	// no scope entry matches.
+	Unscoped bool
+	// Audit verifies every suppression directive in the analyzed
+	// packages: it must name a known analyzer and suppress at least one
+	// diagnostic, or it becomes a finding. The whole-module lint run
+	// sets it; fixture runs do not (a fixture exercises one analyzer,
+	// which would make every other analyzer's suppressions look stale).
+	Audit bool
+}
+
+// NewRunner builds a Runner over a fresh Module. When l is non-nil its
+// package cache backs the Module's lazy dependency resolution, so
+// summaries can chase helpers into packages that were only pulled in as
+// imports.
+func NewRunner(l *load.Loader, analyzers []*analysis.Analyzer) *Runner {
+	m := analysis.NewModule()
+	if l != nil {
+		m.Source = l.Cached
+	}
+	return &Runner{Module: m, Analyzers: analyzers}
+}
+
+// Run analyzes pkgs in dependency order (so facts flow from callee
+// packages to their callers) and returns the unsuppressed findings plus
+// any malformed/stale-suppression findings, sorted by position.
+func (r *Runner) Run(pkgs ...*load.Package) ([]Finding, error) {
+	requested := make(map[string]bool, len(pkgs))
+	ignores := make(map[string][]*ignoreDirective)
+	var findings []Finding
+	for _, p := range pkgs {
+		r.Module.Add(p)
+		requested[p.Path] = true
+		findings = append(findings, collectIgnores(p, ignores)...)
+	}
+	for _, p := range r.Module.DepOrder() {
+		if !requested[p.Path] {
+			continue // lazily pulled-in dependency, not asked for
 		}
-		diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			if suppressed(a.Name, pos, ignores) {
+		for _, a := range r.Analyzers {
+			if !r.Unscoped && !InScope(a.Name, p.Path) {
 				continue
 			}
-			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			diags, err := r.Module.Run(a, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				pos := p.Fset.Position(d.Pos)
+				if ig := suppression(a.Name, pos, ignores); ig != nil {
+					ig.used = true
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
 		}
+	}
+	if r.Audit {
+		findings = append(findings, r.auditIgnores(pkgs, ignores)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].Pos.Filename != findings[j].Pos.Filename {
@@ -200,31 +262,58 @@ func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	return findings, nil
 }
 
+// auditIgnores flags directives that name an unknown analyzer or that
+// suppressed nothing during the run.
+func (r *Runner) auditIgnores(pkgs []*load.Package, ignores map[string][]*ignoreDirective) []Finding {
+	known := make(map[string]bool, len(r.Analyzers)+1)
+	known["all"] = true
+	for _, a := range r.Analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	for _, igs := range ignores {
+		for _, ig := range igs {
+			switch {
+			case !known[ig.analyzer]:
+				out = append(out, Finding{
+					Analyzer: "distlint",
+					Pos:      fset.Position(ig.pos),
+					Message:  fmt.Sprintf("suppression names unknown analyzer %q", ig.analyzer),
+				})
+			case !ig.used:
+				out = append(out, Finding{
+					Analyzer: "distlint",
+					Pos:      fset.Position(ig.pos),
+					Message: fmt.Sprintf("stale suppression: %s reports no diagnostic here (reason was: %s); delete the directive",
+						ig.analyzer, ig.reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the given analyzers (respecting scope) over one package
+// in isolation and returns the unsuppressed findings, sorted by
+// position. Cross-package context is limited to what the package's own
+// loader cache holds; the whole-module runs use a Runner.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return NewRunner(nil, analyzers).Run(pkg)
+}
+
 // RunUnscoped executes a single analyzer over pkg ignoring the package
 // scope map, applying only suppression directives. The fixture runner
-// uses it: fixtures live under synthetic import paths that would never
+// uses it: fixtures live under testdata import paths that would never
 // match a scope entry, but still need //distlint:ignore honored so the
 // allowed-pattern fixtures can exercise the suppression form.
 func RunUnscoped(pkg *load.Package, a *analysis.Analyzer) ([]Finding, error) {
-	ignores, findings := collectIgnores(pkg)
-	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
-	if err != nil {
-		return nil, err
-	}
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if suppressed(a.Name, pos, ignores) {
-			continue
-		}
-		findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].Pos.Filename != findings[j].Pos.Filename {
-			return findings[i].Pos.Filename < findings[j].Pos.Filename
-		}
-		return findings[i].Pos.Line < findings[j].Pos.Line
-	})
-	return findings, nil
+	r := NewRunner(nil, []*analysis.Analyzer{a})
+	r.Unscoped = true
+	return r.Run(pkg)
 }
 
 // FuncFor returns the enclosing named function of pos, for diagnostics.

@@ -1,0 +1,27 @@
+// Fixture for the Runner's suppression audit: one directive that
+// suppresses a real diagnostic (passes), one that suppresses nothing
+// (stale), one naming an analyzer that does not exist (unknown), and
+// one with no reason (malformed). The audit must flag the last three
+// and stay silent about the first.
+package fixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new(int) }}
+
+func suppressedLeak() {
+	v := pool.Get().(*int)
+	_ = v
+	//distlint:ignore pooledescape fixture: retained value proves a used directive passes the audit
+}
+
+func clean() int {
+	//distlint:ignore pooledescape fixture: nothing is flagged here, so the audit must report this directive as stale
+	return 1
+}
+
+//distlint:ignore nosuchcheck fixture: a directive naming an unknown analyzer must be a finding
+var answer = 42
+
+//distlint:ignore pooledescape
+func malformed() {}

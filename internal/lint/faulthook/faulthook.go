@@ -9,6 +9,14 @@
 // conntrack Dialer: the pool injects faults at its own boundary
 // (pool.dial/pool.conn hooks around every dial it makes), so the raw
 // dialer closure stays fault-free by design.
+//
+// Since distlint v2 the reachability is interprocedural: a body that
+// calls a helper — in any module package, any number of frames deep —
+// whose call-graph summary says a net.Dial is reachable with no
+// injector consult anywhere along the chain is flagged at the call
+// site, unless the body itself consults the injector (the Fail-before-
+// dial pattern guards the whole subtree). The old engine only saw
+// dials spelled `net.Dial*` in the body being analyzed.
 package faulthook
 
 import (
@@ -45,18 +53,55 @@ func run(pass *analysis.Pass) error {
 
 // check analyzes one declared function: each dial site must share a
 // body with an injector call, where "body" means the innermost
-// enclosing function (literal or declaration).
+// enclosing function (literal or declaration). Dials hidden behind
+// helper calls count as dial sites of this body when the helper's
+// summary says no injector consult guards them anywhere down the chain.
 func check(pass *analysis.Pass, body *ast.BlockStmt) {
 	dialerLits := collectDialerLits(pass, body)
 	dials := dialSites(pass, body, body, dialerLits)
+	dials = append(dials, helperDialSites(pass, body, body, dialerLits)...)
 	if len(dials) == 0 {
 		return
 	}
 	for _, d := range dials {
-		if !callsInjector(pass, d.scope) {
-			pass.Reportf(d.call.Pos(), "dial site bypasses internal/faults; consult the injector (Fail before the dial or Conn on the result) so chaos tests can exercise this path")
+		if callsInjector(pass, d.scope) {
+			continue
 		}
+		if d.via != "" {
+			pass.Reportf(d.call.Pos(), "call reaches an unhooked dial (%s) with no injector consult on the path; consult internal/faults here or inside the helper so chaos tests can exercise it", d.via)
+			continue
+		}
+		pass.Reportf(d.call.Pos(), "dial site bypasses internal/faults; consult the injector (Fail before the dial or Conn on the result) so chaos tests can exercise this path")
 	}
+}
+
+// helperDialSites finds calls to functions in other packages whose
+// summary carries an unhooked reachable dial. Same-package helpers are
+// skipped: their own bodies are checked directly by this pass, so the
+// dial is already reported where it lives.
+func helperDialSites(pass *analysis.Pass, n ast.Node, scope ast.Node, dialerLits map[*ast.FuncLit]bool) []dialSite {
+	var out []dialSite
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			if v != n {
+				if !dialerLits[v] {
+					out = append(out, helperDialSites(pass, v.Body, v.Body, dialerLits)...)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			fn := pass.Module.CalleeFunc(pass.TypesInfo, v)
+			if fn == nil || fn.Pkg() == pass.Pkg {
+				return true
+			}
+			if s := pass.Module.Summary(fn); s != nil && s.DialsUnhooked {
+				out = append(out, dialSite{call: v, scope: scope, via: s.UnhookedVia})
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // collectDialerLits finds function literals used where a named Dialer
@@ -116,6 +161,9 @@ type dialSite struct {
 	// scope is the innermost function body containing the dial; the
 	// injector consult must happen within it.
 	scope ast.Node
+	// via, when non-empty, names the helper chain the dial hides behind
+	// (pkg.f → pkg.g); empty for direct net.Dial* sites.
+	via string
 }
 
 // dialSites finds net dial calls under n, tracking the innermost

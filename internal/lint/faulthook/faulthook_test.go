@@ -10,3 +10,10 @@ import (
 func TestFaultHook(t *testing.T) {
 	linttest.Run(t, "testdata/a", faulthook.Analyzer)
 }
+
+// TestFaultHookCrossPackage pins the interprocedural upgrade: an
+// unhooked dial hidden behind a helper in another package is flagged at
+// the call site, unless the caller consults the injector first.
+func TestFaultHookCrossPackage(t *testing.T) {
+	linttest.RunDirs(t, faulthook.Analyzer, "testdata/remote", "testdata/d")
+}

@@ -1,0 +1,29 @@
+// Cross-package fixture for faulthook: the dial is hidden behind
+// remote.Open in another package. The pre-v2 engine matched only
+// net.Dial* spellings in the analyzed body, so the unguarded call below
+// was provably unreportable; v2 reaches it through the helper's
+// DialsUnhooked summary, and the Fail-before-call consult in the
+// guarded variant covers the whole subtree.
+package fixture
+
+import (
+	"net"
+
+	"webcluster/internal/faults"
+	"webcluster/internal/lint/faulthook/testdata/remote"
+)
+
+// --- flagged ---
+
+func fetch(addr string) (net.Conn, error) {
+	return remote.Open(addr) // want `call reaches an unhooked dial`
+}
+
+// --- allowed ---
+
+func fetchGuarded(inj *faults.Injector, addr string) (net.Conn, error) {
+	if err := inj.Fail("fixture.fetch"); err != nil {
+		return nil, err
+	}
+	return remote.Open(addr)
+}

@@ -1,0 +1,16 @@
+// Package remote is the helper side of the faulthook cross-package
+// fixture: Open dials with no injector consult anywhere on the path.
+// Pre-v2 the analyzer recognized dial sites only when spelled net.Dial*
+// in the body being analyzed, so a caller in another package reaching
+// this dial through remote.Open was provably invisible. v2 propagates
+// DialsUnhooked through call-graph summaries and flags the call site.
+package remote
+
+import "net"
+
+// Open dials the backend directly; its own body is flagged here, and
+// every unguarded cross-package call reaching it is flagged at the
+// caller.
+func Open(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `dial site bypasses internal/faults`
+}

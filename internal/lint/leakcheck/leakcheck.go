@@ -1,0 +1,93 @@
+// Package leakcheck proves that every `go` statement has a reachable
+// termination path, flagging goroutines that can outlive their owner.
+//
+// A spawned body is accepted when any of the following holds:
+//
+//   - it is WaitGroup-joined: the body (or a function it calls) does a
+//     sync.WaitGroup Done, so an owner can Wait for it;
+//   - it is signal-terminated: every unconditional loop contains a
+//     return/break (the done-channel select and accept-loop patterns),
+//     it ranges over a channel (ends at close), or it blocks on a
+//     receive of a signal channel (chan struct{});
+//   - it is bounded: no unconditional loops and no known-blocking calls
+//     (net/http Serve/ListenAndServe), so the body runs to completion;
+//   - the spawning function is scoped by testutil.NoLeaks, which makes
+//     the test itself fail if the goroutine outlives it.
+//
+// Classification is interprocedural: `go s.run()` is judged by the
+// summary of run's body wherever it is declared, including other
+// packages, and a call to a helper that loops forever makes the
+// spawned body unbounded.
+//
+// Soundness limits (DESIGN.md §15): goroutines spawned through function
+// values or interface methods cannot be resolved and are skipped; a
+// WaitGroup Done is taken as join evidence without proving a matching
+// Wait; blocking channel operations outside loops are assumed to be
+// signal-shaped only for chan struct{}.
+package leakcheck
+
+import (
+	"go/ast"
+
+	"webcluster/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc: "every go statement must have a reachable termination path " +
+		"(done-channel select, bounded body, WaitGroup join, or " +
+		"testutil.NoLeaks scope); goroutines that can outlive their " +
+		"owner leak under the day-long replay scenarios",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	m := pass.Module
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			node := m.NodeForDecl(pass.Unit, fd)
+			if node == nil {
+				continue
+			}
+			// NoLeaks in the spawning function covers every spawn in it.
+			owner := m.ClassifyBody(pass.Unit, fd.Body)
+			for _, gs := range node.Spawns {
+				checkSpawn(pass, gs, owner.CallsNoLeaks)
+			}
+		}
+	}
+	return nil
+}
+
+func checkSpawn(pass *analysis.Pass, gs *analysis.GoSite, noLeaksScoped bool) {
+	m := pass.Module
+	var bc analysis.BodyClass
+	switch {
+	case gs.Body != nil:
+		bc = m.ClassifyBody(gs.Owner.Pkg, gs.Body)
+	case gs.Callee != nil:
+		s := m.Summary(gs.Callee.Func)
+		if s == nil {
+			return // declared elsewhere without source; nothing to prove against
+		}
+		bc = s.Body
+	default:
+		// `go` through a function value or interface method: the spawned
+		// body is not statically resolvable. Documented soundness limit.
+		return
+	}
+	if noLeaksScoped || bc.CallsNoLeaks || bc.JoinsWaitGroup {
+		return
+	}
+	if bc.Term != analysis.TermUnbounded {
+		return
+	}
+	pass.Reportf(gs.Stmt.Pos(),
+		"goroutine has no reachable termination path: %s; "+
+			"add a done-channel select, a WaitGroup join, or scope the test with testutil.NoLeaks",
+		bc.Why)
+}

@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/leakcheck"
+	"webcluster/internal/lint/linttest"
+)
+
+func TestLeakCheck(t *testing.T) {
+	linttest.RunDirs(t, leakcheck.Analyzer, "testdata/helper", "testdata/a")
+}

@@ -1,0 +1,86 @@
+// Fixture for the leakcheck analyzer: goroutines with no reachable
+// termination path (flagged) and the sanctioned lifetimes — done-channel
+// select, WaitGroup join, bounded body, range-over-channel, signal
+// receive, and testutil.NoLeaks scope (all allowed).
+//
+// The helper-package spawns demonstrate violations the old engine
+// provably missed: the spawned bodies live in testdata/helper, outside
+// the analyzed package's syntax, so only the interprocedural summary
+// can classify them.
+package fixture
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+
+	"webcluster/internal/lint/leakcheck/testdata/helper"
+	"webcluster/internal/testutil"
+)
+
+// --- flagged ---
+
+func spawnForever() {
+	go func() { // want `goroutine has no reachable termination path`
+		for {
+		}
+	}()
+}
+
+func spawnHelperForever() {
+	go helper.SpinForever() // want `goroutine has no reachable termination path`
+}
+
+func spawnServe(srv *http.Server, ln net.Listener) {
+	go func() { // want `goroutine has no reachable termination path`
+		_ = srv.Serve(ln)
+	}()
+}
+
+// --- allowed ---
+
+func spawnDoneSelect(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-work:
+			}
+		}
+	}()
+}
+
+func spawnJoined(srv *http.Server, ln net.Listener) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	_ = srv.Close()
+	wg.Wait()
+}
+
+func spawnBounded(ch chan<- int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+func spawnHelperRange(ch chan int) {
+	go helper.DrainUntilClosed(ch)
+}
+
+func spawnHelperDone(done chan struct{}) {
+	go helper.RunUntilDone(done)
+}
+
+func spawnScoped(t *testing.T) {
+	testutil.NoLeaks(t)
+	go func() {
+		for {
+		}
+	}()
+}

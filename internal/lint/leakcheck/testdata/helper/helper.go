@@ -1,0 +1,34 @@
+// Package helper holds the bodies spawned by the leakcheck
+// cross-package fixture (testdata/a). The pre-v2 engine analyzed one
+// package at a time with no call-graph summaries, so a `go
+// helper.SpinForever()` in another package was provably invisible to
+// it: the spawned body's syntax was simply not in the analyzed
+// package. v2 classifies the spawn by the callee's summary wherever it
+// is declared.
+package helper
+
+// SpinForever loops with no reachable exit; any goroutine running it
+// outlives its owner.
+func SpinForever() {
+	for {
+	}
+}
+
+// DrainUntilClosed terminates when the channel is closed — the
+// range-over-channel termination pattern.
+func DrainUntilClosed(ch <-chan int) {
+	for range ch {
+	}
+}
+
+// RunUntilDone terminates when done is closed — the done-channel
+// select pattern.
+func RunUntilDone(done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}

@@ -9,6 +9,14 @@
 // Fixtures live under the analyzer package's testdata/ directory (one
 // sub-directory per fixture package) and may import webcluster/...
 // packages, which resolve against the enclosing module.
+//
+// Fixture packages load under their real module import path
+// (webcluster/internal/lint/<analyzer>/testdata/src/<pkg>), so fixtures
+// can import each other: RunDirs analyzes several fixture packages in
+// one interprocedural run, with want comments honored in every one —
+// that is how the cross-package fixtures demonstrate violations the
+// old per-package engine could not see. go build/test never descend
+// into testdata, so deliberately broken fixtures cannot affect tier-1.
 package linttest
 
 import (
@@ -63,23 +71,54 @@ var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
 // diagnostics and the fixture's want comments via t.Errorf.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
+	RunDirs(t, a, dir)
+}
+
+// RunDirs loads one fixture package per directory (dependency packages
+// first) and applies a to all of them in a single interprocedural run:
+// one module, shared facts and summaries, packages analyzed in
+// dependency order. Want comments are honored in every package, so a
+// cross-package fixture can pin both the helper-side and caller-side
+// diagnostics.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
 	l, err := sharedLoader()
 	if err != nil {
 		t.Fatalf("linttest: creating loader: %v", err)
 	}
-	abs, err := filepath.Abs(dir)
+	wd, err := os.Getwd()
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	pkg, err := l.LoadDir(abs, "fixture/"+a.Name+"/"+filepath.Base(abs))
-	if err != nil {
-		t.Fatalf("linttest: loading fixture %s: %v", dir, err)
-	}
-	wants, err := collectWants(pkg)
+	root, modPath, err := load.FindModule(wd)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	findings, err := distlint.RunUnscoped(pkg, a)
+	var pkgs []*load.Package
+	var wants []*want
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Fatalf("linttest: fixture %s is outside module root %s", dir, root)
+		}
+		pkg, err := l.LoadDir(abs, modPath+"/"+filepath.ToSlash(rel))
+		if err != nil {
+			t.Fatalf("linttest: loading fixture %s: %v", dir, err)
+		}
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		wants = append(wants, ws...)
+		pkgs = append(pkgs, pkg)
+	}
+	r := distlint.NewRunner(l, []*analysis.Analyzer{a})
+	r.Unscoped = true
+	findings, err := r.Run(pkgs...)
 	if err != nil {
 		t.Fatalf("linttest: running %s: %v", a.Name, err)
 	}

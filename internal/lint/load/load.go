@@ -101,6 +101,12 @@ func FindModule(dir string) (root, modulePath string, err error) {
 // Fset returns the loader's shared FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Cached returns the already-loaded package for path, nil when the
+// loader has not seen it. The analysis module uses this as its lazy
+// dependency source: any module package pulled in transitively by the
+// type-checker is available to the call graph without a second load.
+func (l *Loader) Cached(path string) *Package { return l.pkgs[path] }
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, "", 0)

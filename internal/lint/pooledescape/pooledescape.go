@@ -7,6 +7,16 @@
 // returned composite literal, transfers ownership to the caller and is
 // allowed — that is how conntrack hands a pooled bufio.Reader to
 // PooledConn.
+//
+// Since distlint v2 the lifecycle is tracked across call boundaries:
+// the analyzer exports a ReturnsPooledFact for every function whose
+// result carries a pooled value and a ReleasesParamFact for every
+// function that releases one of its parameters, and consults those
+// facts (plus call-graph summaries for packages in the same run) at
+// acquire and release sites. `v := helperThatReturnsPooled()` starts
+// the same obligation as a direct Get, and `releaseHelper(v)`
+// discharges it, no matter which package the helper lives in or what
+// it is named.
 package pooledescape
 
 import (
@@ -22,9 +32,24 @@ var Analyzer = &analysis.Analyzer{
 	Name: "pooledescape",
 	Doc: "check that sync.Pool values are released exactly once on every " +
 		"return path, never used after release, and never stored into " +
-		"long-lived structs",
-	Run: run,
+		"long-lived structs; tracked across call boundaries via escape " +
+		"summaries",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(ReturnsPooledFact), new(ReleasesParamFact)},
 }
+
+// ReturnsPooledFact marks a function whose result carries a pooled
+// value, transferring the release obligation to its callers.
+type ReturnsPooledFact struct{}
+
+func (*ReturnsPooledFact) AFact() {}
+
+// ReleasesParamFact marks which parameters of a function are released
+// inside it; a call passing a tracked value at such a position
+// discharges the caller's obligation.
+type ReleasesParamFact struct{ Params []bool }
+
+func (*ReleasesParamFact) AFact() {}
 
 // status is the per-variable lattice. Order matters: merge takes the
 // minimum, so a variable live on either branch stays live (leaks are
@@ -59,9 +84,15 @@ type tracked struct {
 	// reported suppresses duplicate leak diagnostics for the same
 	// variable across sibling return paths.
 	reported bool
+	// outer marks values acquired by plain assignment (`=`) into a
+	// variable declared before the acquiring statement: the value
+	// outlives the branch it was acquired in, so joins adopt it into
+	// the enclosing state instead of reporting at the branch end.
+	outer bool
 }
 
 func run(pass *analysis.Pass) error {
+	exportFacts(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -120,8 +151,20 @@ func (c *checker) walkStmt(s ast.Stmt) (terminated bool) {
 			c.walkStmt(st.Init)
 		}
 		thenC := c.fork()
-		thenTerm := thenC.walkBlock(st.Body)
 		elseC := c.fork()
+		// Nil guards carry lifecycle information: inside `if v == nil`
+		// (and in the else of `if v != nil`) a conditionally acquired
+		// value was never acquired, so that path has no obligation.
+		if obj, eq := c.nilCheck(st.Cond); obj != nil {
+			nilSide := thenC
+			if !eq {
+				nilSide = elseC
+			}
+			if tv := nilSide.vars[obj]; tv != nil && tv.st == live {
+				tv.st = escaped
+			}
+		}
+		thenTerm := thenC.walkBlock(st.Body)
 		elseTerm := false
 		if st.Else != nil {
 			elseTerm = elseC.walkStmt(st.Else)
@@ -221,6 +264,19 @@ func (c *checker) walkClauses(s ast.Stmt) {
 		}
 		tv.st = st
 	}
+	// Clause-acquired values assigned into pre-declared variables flow
+	// out of the switch/select; adopt them like join does.
+	for _, fc := range survivors {
+		for obj, tv := range fc.vars {
+			if _, ok := c.vars[obj]; ok {
+				continue
+			}
+			if tv.outer {
+				cp := *tv
+				c.vars[obj] = &cp
+			}
+		}
+	}
 }
 
 func (c *checker) fork() *checker {
@@ -255,15 +311,27 @@ func (c *checker) join(a *checker, aTerm bool, b *checker, bTerm bool) {
 			}
 		}
 	}
-	// Values acquired inside a branch must be resolved inside it; the
-	// fork's walk already checked its return paths, and a non-terminating
-	// branch that acquired without releasing leaks at the join.
-	for _, src := range []*checker{a, b} {
-		if src == c {
+	// Values acquired inside a branch must be resolved inside it — with
+	// one exception: an acquisition assigned (`=`) into a pre-declared
+	// variable flows out of the branch, so the join adopts it and the
+	// enclosing walk carries the obligation forward (the conditional
+	// `if traced { sp = tel.StartSpan(...) }` pattern). Everything else
+	// still live leaks at the join; the fork's walk already checked its
+	// own return paths.
+	for _, src := range []struct {
+		c    *checker
+		term bool
+	}{{a, aTerm}, {b, bTerm}} {
+		if src.c == c || src.term {
 			continue
 		}
-		for obj, tv := range src.vars {
+		for obj, tv := range src.c.vars {
 			if _, ok := c.vars[obj]; ok {
+				continue
+			}
+			if tv.outer {
+				cp := *tv
+				c.vars[obj] = &cp
 				continue
 			}
 			if tv.st == live && !tv.reported {
@@ -271,6 +339,35 @@ func (c *checker) join(a *checker, aTerm bool, b *checker, bTerm bool) {
 			}
 		}
 	}
+}
+
+// nilCheck matches a `v == nil` / `v != nil` condition over a tracked
+// variable, returning its object and whether the operator is ==.
+func (c *checker) nilCheck(cond ast.Expr) (*ast.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok || id.Obj == nil {
+		return nil, false
+	}
+	if _, tracked := c.vars[id.Obj]; !tracked {
+		return nil, false
+	}
+	return id.Obj, be.Op == token.EQL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil" && id.Obj == nil
 }
 
 // handleAssign tracks acquisitions (v := Acquire...() / pool.Get()) and
@@ -320,7 +417,9 @@ func (c *checker) handleAssign(st *ast.AssignStmt) {
 			delete(c.vars, id.Obj)
 		}
 		if pos, ok := c.isAcquire(st.Rhs[i]); ok {
-			c.vars[id.Obj] = &tracked{name: id.Name, st: live, acquire: pos}
+			// Plain `=` writes into a variable declared before this
+			// statement, so the value survives any enclosing branch.
+			c.vars[id.Obj] = &tracked{name: id.Name, st: live, acquire: pos, outer: st.Tok == token.ASSIGN}
 		}
 	}
 }
@@ -349,8 +448,39 @@ func (c *checker) escapingStore(lhs ast.Expr) bool {
 	return false
 }
 
+// exportFacts publishes this package's escape summaries as facts so
+// downstream packages see them without access to this package's syntax.
+func exportFacts(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			node := pass.Module.NodeForDecl(pass.Unit, fd)
+			if node == nil {
+				continue
+			}
+			s := pass.Module.Summary(node.Func)
+			if s == nil {
+				continue
+			}
+			if s.ReturnsPooled {
+				pass.ExportObjectFact(node.Func, &ReturnsPooledFact{})
+			}
+			for _, rel := range s.ReleasesParam {
+				if rel {
+					pass.ExportObjectFact(node.Func, &ReleasesParamFact{Params: s.ReleasesParam})
+					break
+				}
+			}
+		}
+	}
+}
+
 // isAcquire reports whether e acquires a pooled value: a call to an
-// Acquire*/acquire* helper, or sync.Pool.Get (possibly type-asserted).
+// Acquire*/acquire* helper, sync.Pool.Get (possibly type-asserted), or
+// any function whose fact/summary says it returns a pooled value.
 func (c *checker) isAcquire(e ast.Expr) (token.Pos, bool) {
 	e = ast.Unparen(e)
 	if ta, ok := e.(*ast.TypeAssertExpr); ok {
@@ -371,11 +501,21 @@ func (c *checker) isAcquire(e ast.Expr) (token.Pos, bool) {
 			}
 		}
 	}
+	if fn := c.pass.Module.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+		var rp ReturnsPooledFact
+		if c.pass.ImportObjectFact(fn, &rp) {
+			return call.Pos(), true
+		}
+		if s := c.pass.Module.Summary(fn); s != nil && s.ReturnsPooled {
+			return call.Pos(), true
+		}
+	}
 	return token.NoPos, false
 }
 
 // releaseTarget returns the tracked object a call releases, if any:
-// Release*(v), release*(v), or pool.Put(v).
+// Release*(v), release*(v), pool.Put(v), or helper(…, v, …) where the
+// helper's fact/summary says it releases that parameter.
 func (c *checker) releaseTarget(call *ast.CallExpr) (*ast.Object, bool) {
 	name := lintutil.CalleeName(call)
 	isRel := strings.HasPrefix(name, "Release") || strings.HasPrefix(name, "release")
@@ -384,10 +524,37 @@ func (c *checker) releaseTarget(call *ast.CallExpr) (*ast.Object, bool) {
 			isRel = true
 		}
 	}
-	if !isRel || len(call.Args) == 0 {
+	if isRel && len(call.Args) > 0 {
+		if obj, ok := c.trackedArg(call.Args[0]); ok {
+			return obj, true
+		}
 		return nil, false
 	}
-	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	// Delegated release: the callee's escape summary says it releases
+	// the parameter our tracked value is passed as.
+	if fn := c.pass.Module.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+		var params []bool
+		var rf ReleasesParamFact
+		if c.pass.ImportObjectFact(fn, &rf) {
+			params = rf.Params
+		} else if s := c.pass.Module.Summary(fn); s != nil {
+			params = s.ReleasesParam
+		}
+		for i, rel := range params {
+			if !rel || i >= len(call.Args) {
+				continue
+			}
+			if obj, ok := c.trackedArg(call.Args[i]); ok {
+				return obj, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// trackedArg resolves an argument expression to a tracked variable.
+func (c *checker) trackedArg(arg ast.Expr) (*ast.Object, bool) {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
 	if !ok || id.Obj == nil {
 		return nil, false
 	}

@@ -10,3 +10,11 @@ import (
 func TestPooledEscape(t *testing.T) {
 	linttest.Run(t, "testdata/a", pooledescape.Analyzer)
 }
+
+// TestPooledEscapeCrossPackage runs the helper and caller fixtures in
+// one interprocedural pass: the caller's obligations exist only because
+// the helper package's facts say Lease returns a pooled value and
+// Recycle releases its parameter.
+func TestPooledEscapeCrossPackage(t *testing.T) {
+	linttest.RunDirs(t, pooledescape.Analyzer, "testdata/pool", "testdata/b")
+}

@@ -1,0 +1,38 @@
+// Conditional acquisition: a nil guard carries lifecycle information.
+// A value acquired by plain `=` into a pre-declared variable outlives
+// the branch it was acquired in (the conditional tracing-span pattern),
+// and inside `if v == nil` — or the else of `if v != nil` — the value
+// was never acquired, so that path holds no obligation.
+package fixture
+
+func condAcquireGuardedRelease(traced bool) {
+	var buf *[]byte
+	if traced {
+		buf = bufPool.Get().(*[]byte)
+	}
+	if buf != nil {
+		bufPool.Put(buf)
+	}
+}
+
+func condAcquireSwitch(mode int) {
+	var buf *[]byte
+	switch mode {
+	case 1:
+		buf = bufPool.Get().(*[]byte)
+	}
+	if buf != nil {
+		bufPool.Put(buf)
+	}
+}
+
+func condAcquireLeaked(traced bool) error {
+	var buf *[]byte
+	if traced {
+		buf = bufPool.Get().(*[]byte)
+	}
+	if buf != nil {
+		use(buf)
+	}
+	return work() // want `pooled value "buf" is not released on this return path`
+}

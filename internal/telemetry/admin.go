@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -17,6 +18,9 @@ type AdminServer struct {
 	mux *http.ServeMux
 	srv *http.Server
 	ln  net.Listener
+	// wg joins the serve goroutine so Close does not return while it is
+	// still running (it previously leaked past Close).
+	wg sync.WaitGroup
 }
 
 // NewAdmin builds an admin server over t.
@@ -47,7 +51,11 @@ func (a *AdminServer) Start(addr string) (string, error) {
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	go func() { _ = a.srv.Serve(ln) }()
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		_ = a.srv.Serve(ln)
+	}()
 	return ln.Addr().String(), nil
 }
 
@@ -59,12 +67,15 @@ func (a *AdminServer) Addr() string {
 	return a.ln.Addr().String()
 }
 
-// Close stops the listener and any in-flight handlers.
+// Close stops the listener and any in-flight handlers, then waits for
+// the serve goroutine to exit.
 func (a *AdminServer) Close() error {
 	if a.srv == nil {
 		return nil
 	}
-	return a.srv.Close()
+	err := a.srv.Close()
+	a.wg.Wait()
+	return err
 }
 
 func (a *AdminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {

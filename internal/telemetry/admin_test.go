@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Close must not return while the serve goroutine is still running: the
+// admin server previously leaked it past Close (found by leakcheck),
+// which made shutdown racy — a scrape arriving between Close returning
+// and Serve unwinding hit a half-torn-down server.
+func TestAdminCloseJoinsServeGoroutine(t *testing.T) {
+	tel := New(Options{Node: "front", RingSize: 16})
+	admin := NewAdmin(tel)
+	if _, err := admin.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The join must be synchronous — no grace period. Any Start.func1
+	// frame still alive after Close returned is a regression.
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	if stacks := string(buf[:n]); strings.Contains(stacks, "(*AdminServer).Start.func") {
+		t.Fatalf("serve goroutine still running after Close:\n%s", stacks)
+	}
+}
