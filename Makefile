@@ -10,7 +10,7 @@ BENCH_CACHE = BenchmarkDistributorCacheHit|BenchmarkDistributorCacheColdMiss|Ben
 # Telemetry benchmarks (BENCH_telemetry.json): the lock-free metrics core
 # and the fully-traced relay, which must add 0 allocs/op over the
 # untraced relay.
-BENCH_TELEMETRY = BenchmarkTelemetryObserve|BenchmarkDistributorRelayTraced
+BENCH_TELEMETRY = BenchmarkTelemetryObserve|BenchmarkDistributorRelayTraced|BenchmarkJournalRecord
 
 # Admission benchmarks (BENCH_admission.json): the per-request overload
 # decision, which must stay at 0 allocs/op.
@@ -93,5 +93,7 @@ allocguard:
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_relay.json
 	$(GO) test -run '^$$' -bench 'BenchmarkAdmissionDecision$$' -benchtime=100x -benchmem . \
 		| $(GO) run ./cmd/benchguard -snapshot BENCH_admission.json -tolerance 0
+	$(GO) test -run '^$$' -bench 'BenchmarkJournalRecord$$' -benchtime=100x -benchmem . \
+		| $(GO) run ./cmd/benchguard -snapshot BENCH_telemetry.json -tolerance 0
 
 ci: vet lint build test race allocguard

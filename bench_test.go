@@ -30,6 +30,7 @@ import (
 	"webcluster/internal/content"
 	"webcluster/internal/distributor"
 	"webcluster/internal/httpx"
+	"webcluster/internal/journal"
 	"webcluster/internal/l4router"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/respcache"
@@ -326,11 +327,14 @@ func BenchmarkDistributorRelay(b *testing.B) {
 // full telemetry plane active: a pooled span per request across both
 // tiers (distributor phase timings + backend service span, joined over
 // the X-Dist-Trace/X-Dist-Span wire fields), atomic histogram and counter
-// updates, and the span ring capture. Acceptance: tracing adds 0
+// updates, and the span ring capture. The decision journal is attached
+// too: the happy relay path records no events, so journaling must not
+// show up here either. Acceptance: tracing + journaling adds 0
 // allocs/op over the untraced relay (benchguard-gated).
 func BenchmarkDistributorRelayTraced(b *testing.B) {
 	front, cleanup := liveCluster(b, func(o *distributor.Options) {
 		o.Telemetry = telemetry.New(telemetry.Options{Node: "bench-front"})
+		o.Journal = journal.New(journal.Options{Node: "bench-front"})
 	})
 	defer cleanup()
 	conn, err := net.Dial("tcp", front)
@@ -374,6 +378,32 @@ func BenchmarkTelemetryObserve(b *testing.B) {
 			cs.Requests.Inc()
 			cs.Bytes.Add(4096)
 			cs.Latency.ObserveNs(ns & 0xfffff)
+		}
+	})
+}
+
+// BenchmarkJournalRecord measures one structured event append on the
+// decision journal's lock-striped ring — the cost every control-plane
+// actor pays per recorded decision, and the overhead bound for journal
+// calls that do land on a data path (failover, retry exhaustion).
+// Must stay at 0 allocs/op (gated by `make allocguard` against
+// BENCH_telemetry.json with zero tolerance).
+func BenchmarkJournalRecord(b *testing.B) {
+	j := journal.New(journal.Options{Node: "bench"})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int64
+		for pb.Next() {
+			i++
+			j.Record(journal.Event{
+				Actor:  journal.ActorDistributor,
+				Kind:   journal.KindFailover,
+				Trace:  uint64(i),
+				Node:   "n1",
+				Path:   "/bench.html",
+				Detail: "n2",
+				A:      i,
+			})
 		}
 	})
 }

@@ -26,6 +26,8 @@ import (
 	"webcluster/internal/distributor"
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
+	"webcluster/internal/journal"
+	"webcluster/internal/loadbal"
 	"webcluster/internal/respcache"
 	"webcluster/internal/testutil"
 	"webcluster/internal/urltable"
@@ -471,6 +473,152 @@ func TestChaosStaleOnError(t *testing.T) {
 		t.Fatalf("cache stats after scenario: %+v", st)
 	}
 	assertMappingDrains(t, cc.dist)
+}
+
+// TestChaosFlightRecorderCausalChain: killing a replica mid-traffic must
+// leave a self-explaining flight bundle. The chain the bundle has to
+// carry, linked by one incident trace ID: the injected fault on the
+// node's connection pool, the distributor's failover decision away from
+// it, the monitor taking it out of service, and the purge issued when
+// the planner's repair round replicated critical content under the open
+// incident. Reproducible from the harness seed (CHAOS_SEED).
+func TestChaosFlightRecorderCausalChain(t *testing.T) {
+	testutil.NoLeaks(t)
+	h := faults.NewHarness(faults.Seed(606), t.Logf)
+	dir := t.TempDir()
+	balOpts := loadbal.DefaultPlannerOptions()
+	balOpts.PriorityMinCopies = 2
+	cluster, err := core.Launch(core.Options{
+		MonitorInterval: 20 * time.Millisecond,
+		Faults:          h.In,
+		FlightDir:       dir,
+		CacheBytes:      1 << 20,
+		BalanceOptions:  balOpts,
+		// Round-robin so the killed replica keeps being picked first (the
+		// weighted default would park all idle traffic on fast-1 and never
+		// exercise the failover).
+		Picker: &loadbal.RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+
+	// /ha.html is replicated so traffic survives the kill; /critical.html
+	// sits below its availability floor on the node that stays up, so the
+	// post-incident planning round must replicate (and purge) it.
+	ha := content.Object{Path: "/ha.html", Size: 1, Class: content.ClassHTML}
+	if err := cluster.Controller.Insert(ha, []byte("x"), "fast-1", "mid-1"); err != nil {
+		t.Fatal(err)
+	}
+	crit := content.Object{Path: "/critical.html", Size: 1, Class: content.ClassHTML}
+	if err := cluster.Controller.Insert(crit, []byte("c"), "fast-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Controller.SetPriority("/critical.html", 1); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := cluster.Get("/ha.html"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("warming fetch: %v %v", resp, err)
+	}
+
+	// Kill mid-1's data plane: every pool connection is refused. Traffic
+	// keeps flowing — each request that picks mid-1 fails over — and the
+	// injector + distributor journal the fault and the failover under one
+	// incident trace.
+	h.In.Set("pool.conn/mid-1", faults.Rule{Refuse: true})
+	hasEvent := func(kind journal.Kind) bool {
+		for _, ev := range cluster.Journal.Snapshot(0) {
+			if ev.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	testutil.Eventually(t, 5*time.Second, func() bool {
+		if hasEvent(journal.KindFailover) {
+			return true
+		}
+		// The query string bypasses the response cache so every fetch
+		// exercises the relay (and, round-robin, the killed replica).
+		resp, err := getOnce(cluster.FrontAddr, "/ha.html?nocache")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("fetch with mid-1 killed: %v %v (seed %d)", resp, err, h.In.Seed())
+		}
+		return false
+	}, "no failover journaled while mid-1's pool was refused (seed %d)", h.In.Seed())
+
+	// The health plane notices next: black-hole mid-1's probes and wait
+	// for the monitor's down transition on the same incident.
+	h.In.Set("probe/mid-1", faults.Rule{Refuse: true})
+	testutil.Eventually(t, 5*time.Second, func() bool {
+		return hasEvent(journal.KindNodeDown)
+	}, "monitor never journaled mid-1 going down (seed %d)", h.In.Seed())
+
+	// Repair round while the incident is open: the availability floor
+	// replicates /critical.html, purging it from the response cache with
+	// the incident trace attached.
+	if _ = cluster.Balancer.RunOnce(); !hasEvent(journal.KindPurge) {
+		t.Fatalf("planning round journaled no purge (seed %d)", h.In.Seed())
+	}
+
+	bundlePath, err := cluster.Recorder.Dump("chaos causal chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := journal.ReadBundle(bundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole chain must be in the bundle, linked by one trace ID.
+	find := func(kind journal.Kind) *journal.Event {
+		for i := range bundle.Events {
+			if bundle.Events[i].Kind == kind {
+				return &bundle.Events[i]
+			}
+		}
+		return nil
+	}
+	fault := find(journal.KindFault)
+	failover := find(journal.KindFailover)
+	down := find(journal.KindNodeDown)
+	// Insert-time purges carry no trace; the chain's purge is the one the
+	// repair replication issued.
+	var purge *journal.Event
+	for i := range bundle.Events {
+		if bundle.Events[i].Kind == journal.KindPurge && bundle.Events[i].Detail == "replicate" {
+			purge = &bundle.Events[i]
+		}
+	}
+	for name, ev := range map[string]*journal.Event{
+		"fault": fault, "failover": failover, "node-down": down, "purge": purge,
+	} {
+		if ev == nil {
+			t.Fatalf("bundle is missing the %s event (seed %d)", name, h.In.Seed())
+		}
+	}
+	if fault.Trace == 0 {
+		t.Fatalf("fault event carries no incident trace (seed %d)", h.In.Seed())
+	}
+	for name, ev := range map[string]*journal.Event{
+		"failover": failover, "node-down": down, "purge": purge,
+	} {
+		if ev.Trace != fault.Trace {
+			t.Fatalf("%s trace %016x != fault trace %016x: causal chain broken (seed %d)",
+				name, ev.Trace, fault.Trace, h.In.Seed())
+		}
+	}
+	if fault.Node != "mid-1" || failover.Node != "mid-1" || down.Node != "mid-1" {
+		t.Fatalf("chain not anchored on mid-1: fault=%q failover=%q down=%q",
+			fault.Node, failover.Node, down.Node)
+	}
+	if purge.Path != "/critical.html" {
+		t.Fatalf("purge path = %q, want /critical.html", purge.Path)
+	}
+	if len(bundle.Sources) == 0 {
+		t.Fatal("bundle carries no telemetry/placement sources")
+	}
 }
 
 // getOnce issues one HTTP/1.1 request with Connection: close.

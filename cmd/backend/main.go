@@ -17,6 +17,7 @@ import (
 	"webcluster/internal/backend"
 	"webcluster/internal/config"
 	"webcluster/internal/httpx"
+	"webcluster/internal/journal"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/nfs"
 	"webcluster/internal/telemetry"
@@ -34,14 +35,15 @@ func main() {
 	nfsAddr := flag.String("nfs", "", "shared file server address (configuration 2)")
 	docroot := flag.String("docroot", "", "serve content from this directory instead of memory")
 	adminAddr := flag.String("admin", "", "serve /metrics, /debug/traces, /debug/vars, /healthz on this address; empty = off")
+	journalSize := flag.Int("journal-size", 0, "node decision-journal capacity in events (0 = default 4096)")
 	flag.Parse()
-	if err := run(*id, *cpu, *mem, *diskGB, *disk, *platform, *listen, *brokerAddr, *nfsAddr, *docroot, *adminAddr); err != nil {
+	if err := run(*id, *cpu, *mem, *diskGB, *disk, *platform, *listen, *brokerAddr, *nfsAddr, *docroot, *adminAddr, *journalSize); err != nil {
 		fmt.Fprintln(os.Stderr, "backend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nfsAddr, docroot, adminAddr string) error {
+func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nfsAddr, docroot, adminAddr string, journalSize int) error {
 	spec := config.NodeSpec{
 		ID:       config.NodeID(id),
 		CPUMHz:   cpu,
@@ -92,7 +94,8 @@ func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nf
 	}
 	defer func() { _ = srv.Close() }()
 
-	broker := mgmt.NewBroker(mgmt.Env{Node: spec.ID, Store: store, Server: srv})
+	jnl := journal.New(journal.Options{Node: id, Size: journalSize})
+	broker := mgmt.NewBroker(mgmt.Env{Node: spec.ID, Store: store, Server: srv, Journal: jnl})
 	bAddr, err := broker.Start(brokerAddr)
 	if err != nil {
 		return err
@@ -101,6 +104,7 @@ func run(id string, cpu, mem, diskGB int, disk, platform, listen, brokerAddr, nf
 
 	if adminAddr != "" {
 		admin := telemetry.NewAdmin(srv.Telemetry())
+		admin.SetJournal(jnl)
 		aAddr, aerr := admin.Start(adminAddr)
 		if aerr != nil {
 			return aerr

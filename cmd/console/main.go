@@ -19,6 +19,11 @@
 //	console -addr host:7070 stats                 # cluster-wide per-class latency/throughput
 //	console -addr host:7070 traces -limit 10      # slowest recent requests across all nodes
 //	console -addr host:7070 audit
+//	console -addr host:7070 journal -limit 50     # merged cluster decision journal
+//	console -addr host:7070 journal -follow       # tail it live
+//	console -addr host:7070 journal -node n1      # one node's journal only
+//	console -addr host:7070 explain /docs/a.html  # where is it, which decision placed it
+//	console -addr host:7070 dump "why is n2 slow" # snapshot a flight-recorder bundle
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"webcluster/internal/config"
+	"webcluster/internal/journal"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/telemetry"
 )
@@ -59,7 +65,8 @@ func run(addr string, args []string) error {
 	seed := sub.Int64("seed", 1, "loadsite: seed")
 	wl := sub.String("workload", "A", "loadsite: workload A|B")
 	policy := sub.String("policy", "type", "loadsite: placement policy type|all|rr")
-	limit := sub.Int("limit", 0, "traces: max spans to show (0 = server default)")
+	limit := sub.Int("limit", 0, "traces/journal/explain: max entries to show (0 = server default)")
+	follow := sub.Bool("follow", false, "journal: poll and print new events until interrupted")
 
 	// Split positionals (up to the first -flag) from the flag tail.
 	rest := args[1:]
@@ -89,6 +96,19 @@ func run(addr string, args []string) error {
 	case "tree", "nodes", "audit", "balance", "cache-stats", "stats":
 	case "traces":
 		req.Limit = *limit
+	case "journal":
+		req.Limit = *limit
+		req.Node = config.NodeID(*node)
+	case "dump":
+		// Optional positional: the reason recorded in the bundle.
+		if len(pos) > 0 {
+			req.Path = strings.Join(pos, " ")
+		}
+	case "explain":
+		if len(pos) < 1 {
+			return fmt.Errorf("explain needs a path")
+		}
+		req.Path, req.Limit = pos[0], *limit
 	case "purge":
 		if len(pos) < 1 {
 			return fmt.Errorf("purge needs a path (or *)")
@@ -154,6 +174,10 @@ func run(addr string, args []string) error {
 		return fmt.Errorf("unknown command %q", args[0])
 	}
 
+	if args[0] == "journal" && *follow {
+		return followJournal(console, req)
+	}
+
 	resp, err := console.Do(req)
 	if err != nil {
 		return err
@@ -166,6 +190,10 @@ func run(addr string, args []string) error {
 	switch {
 	case resp.Stats != nil:
 		printStats(resp.Stats)
+	case resp.Explain != nil:
+		printExplain(resp.Explain)
+	case resp.Journal != nil:
+		printJournal(resp.Journal)
 	case resp.Traces != nil:
 		printTraces(resp.Traces)
 	case resp.Cache != nil:
@@ -204,6 +232,96 @@ func run(addr string, args []string) error {
 		}
 	}
 	return nil
+}
+
+// followJournal tails the cluster journal: poll, print events newer than
+// the last seen sequence per source, repeat until interrupted.
+func followJournal(console *mgmt.Console, req mgmt.ConsoleRequest) error {
+	seen := make(map[string]uint64)
+	first := true
+	for {
+		resp, err := console.Do(req)
+		if err != nil {
+			return err
+		}
+		for _, ev := range resp.Journal {
+			if ev.Seq <= seen[ev.Src] {
+				continue
+			}
+			seen[ev.Src] = ev.Seq
+			printEvent(ev)
+		}
+		if first && len(resp.Journal) == 0 {
+			fmt.Fprintln(os.Stderr, "journal empty; waiting for events...")
+		}
+		first = false
+		time.Sleep(time.Second)
+	}
+}
+
+// printJournal renders merged journal events, oldest first.
+func printJournal(evs []journal.Event) {
+	if len(evs) == 0 {
+		fmt.Println("no journal events")
+		return
+	}
+	for _, ev := range evs {
+		printEvent(ev)
+	}
+}
+
+// printEvent renders one journal event on one line.
+func printEvent(ev journal.Event) {
+	fmt.Printf("%s %-11s %-6s %-17s",
+		time.Unix(0, ev.Time).Format("15:04:05.000"), ev.Src+"/"+fmt.Sprint(ev.Seq), ev.Actor, ev.Kind)
+	if ev.Trace != 0 {
+		fmt.Printf(" trace=%016x", ev.Trace)
+	}
+	if ev.Node != "" {
+		fmt.Printf(" node=%s", ev.Node)
+	}
+	if ev.Path != "" {
+		fmt.Printf(" path=%s", ev.Path)
+	}
+	if ev.Detail != "" {
+		fmt.Printf(" %s", ev.Detail)
+	}
+	if ev.A != 0 {
+		fmt.Printf(" a=%d", ev.A)
+	}
+	if ev.F != 0 {
+		fmt.Printf(" cv=%.3f", ev.F)
+	}
+	fmt.Println()
+}
+
+// printExplain renders a placement explanation: current location state,
+// the decision that produced it, and the document's event history.
+func printExplain(ex *mgmt.ExplainReport) {
+	locs := make([]string, len(ex.Locations))
+	for i, id := range ex.Locations {
+		locs[i] = string(id)
+	}
+	fmt.Printf("%s\n", ex.Path)
+	fmt.Printf("  locations: %s\n", strings.Join(locs, ", "))
+	fmt.Printf("  hits=%d size=%d priority=%d pinned=%v\n", ex.Hits, ex.Size, ex.Priority, ex.Pinned)
+	if ex.Decision != nil {
+		d := ex.Decision
+		fmt.Printf("  placed by %s decision at %s on %s (demand %d hits, load CV %.3f)\n",
+			d.Kind, time.Unix(0, d.Time).Format("15:04:05.000"), d.Node, d.A, d.F)
+		if d.Detail != "" {
+			fmt.Printf("    %s\n", d.Detail)
+		}
+	} else {
+		fmt.Println("  no planner decision recorded (initial placement or journal rotated)")
+	}
+	if len(ex.History) > 0 {
+		fmt.Println("  history:")
+		for _, ev := range ex.History {
+			fmt.Print("    ")
+			printEvent(ev)
+		}
+	}
 }
 
 // fmtNs renders a nanosecond figure as a human duration.

@@ -21,11 +21,16 @@ import (
 	"syscall"
 	"time"
 
+	"sort"
+	"strconv"
+	"strings"
+
 	"webcluster/internal/admission"
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/core"
 	"webcluster/internal/distributor"
+	"webcluster/internal/journal"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/respcache"
@@ -54,6 +59,10 @@ func main() {
 	admit := flag.Bool("admit", false, "enable SLO-class admission control (overload shedding + deadline propagation)")
 	admitMax := flag.Int("admit-max", 0, "admission concurrency budget across classes (0 = default 256)")
 	admitTarget := flag.Duration("admit-target", 0, "admission queue-delay target before shedding engages (0 = default 5ms)")
+	journalSize := flag.Int("journal-size", 0, "decision-journal capacity in events (0 = default 4096)")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles to this directory; empty = recorder off")
+	flightWindow := flag.Duration("flight-window", 0, "journal window a flight bundle reaches back (0 = default 30s)")
+	flightBudgets := flag.String("flight-budgets", "", "SLO burn-rate triggers as class:errRate:p99 (p99 a duration, either limit may be empty), comma-separated, e.g. html:0.05:250ms")
 	flag.Parse()
 	if *pprofAddr != "" {
 		//distlint:ignore leakcheck pprof listener is process-lifetime by design; it dies with main
@@ -66,8 +75,17 @@ func main() {
 		}()
 		fmt.Printf("pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
+	budgets, err := parseBudgets(*flightBudgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distributor:", err)
+		os.Exit(1)
+	}
 	cacheOpts := cacheConfig{mb: *cacheMB, fresh: *cacheFresh, stale: *cacheStale}
-	telCfg := telConfig{admin: *adminAddr, slow: *slowMs}
+	telCfg := telConfig{
+		admin: *adminAddr, slow: *slowMs,
+		journalSize: *journalSize,
+		flightDir:   *flightDir, flightWindow: *flightWindow, flightBudgets: budgets,
+	}
 	var admCfg *admission.Options
 	if *admit {
 		admCfg = &admission.Options{MaxConcurrent: *admitMax, QueueTarget: *admitTarget}
@@ -86,8 +104,44 @@ type cacheConfig struct {
 
 // telConfig carries the observability flags.
 type telConfig struct {
-	admin string
-	slow  time.Duration
+	admin         string
+	slow          time.Duration
+	journalSize   int
+	flightDir     string
+	flightWindow  time.Duration
+	flightBudgets []journal.Budget
+}
+
+// parseBudgets decodes the -flight-budgets flag: comma-separated
+// class:errRate:p99 triples where either limit may be left empty.
+func parseBudgets(s string) ([]journal.Budget, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []journal.Budget
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.SplitN(item, ":", 3)
+		if len(parts) != 3 || parts[0] == "" {
+			return nil, fmt.Errorf("bad -flight-budgets entry %q (want class:errRate:p99)", item)
+		}
+		b := journal.Budget{Class: parts[0]}
+		if parts[1] != "" {
+			rate, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad error rate in -flight-budgets entry %q: %w", item, err)
+			}
+			b.MaxErrorRate = rate
+		}
+		if parts[2] != "" {
+			p99, err := time.ParseDuration(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad p99 in -flight-budgets entry %q: %w", item, err)
+			}
+			b.MaxP99Ns = int64(p99)
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, accessLog string, prefork, shards int, balanceEvery time.Duration, cacheCfg cacheConfig, telCfg telConfig, admCfg *admission.Options) error {
@@ -132,12 +186,14 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 		telOpts.SlowLog = os.Stderr
 	}
 	tel := telemetry.New(telOpts)
+	jnl := journal.New(journal.Options{Node: "front", Size: telCfg.journalSize})
 	distOpts := distributor.Options{
 		Table:          table,
 		Cluster:        spec,
 		PreforkPerNode: prefork,
 		Shards:         shards,
 		Telemetry:      tel,
+		Journal:        jnl,
 	}
 	if logWriter != nil {
 		distOpts.AccessLog = logWriter
@@ -170,6 +226,28 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 
 	controller := mgmt.NewController(table)
 	controller.SetTelemetry(tel)
+	controller.SetJournal(jnl)
+	if telCfg.flightDir != "" {
+		rec, rerr := journal.NewRecorder(journal.RecorderOptions{
+			Journal: jnl,
+			Dir:     telCfg.flightDir,
+			Window:  telCfg.flightWindow,
+			Budgets: telCfg.flightBudgets,
+			Stats:   func() []journal.ClassStats { return classStats(tel) },
+		})
+		if rerr != nil {
+			return rerr
+		}
+		rec.AddSource("telemetry", func() any { return tel.Report(32) })
+		rec.AddSource("placement", func() any { return placementState(table) })
+		controller.SetDumper(rec.Dump)
+		rec.Start()
+		defer rec.Close()
+		// Turn a crash of this goroutine into a flight bundle before the
+		// panic surfaces.
+		defer rec.RecoverAndDump()
+		fmt.Printf("flight recorder → %s\n", telCfg.flightDir)
+	}
 	if respCache != nil {
 		// management mutations purge the front-end cache synchronously
 		controller.SetCache(respCache)
@@ -204,6 +282,7 @@ func run(clusterFile, listen, consoleAddr, replAddr, backupOf, tableFile, access
 
 	if telCfg.admin != "" {
 		admin := telemetry.NewAdmin(tel)
+		admin.SetJournal(jnl)
 		aaddr, aerr := admin.Start(telCfg.admin)
 		if aerr != nil {
 			return aerr
@@ -324,6 +403,54 @@ func siteLoader(controller *mgmt.Controller, spec config.ClusterSpec) mgmt.SiteL
 		return fmt.Sprintf("placed %d objects (workload %s, policy %s)",
 			site.Len(), kind, req.Policy), nil
 	}
+}
+
+// classStats adapts the telemetry registry's per-class counters to the
+// flight recorder's burn-rate watcher.
+func classStats(tel *telemetry.Telemetry) []journal.ClassStats {
+	snap := tel.Registry().Snapshot()
+	names := make([]string, 0, len(snap.Classes))
+	for name := range snap.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]journal.ClassStats, 0, len(names))
+	for _, name := range names {
+		cs := snap.Classes[name]
+		out = append(out, journal.ClassStats{
+			Class:    name,
+			Requests: cs.Requests,
+			Errors:   cs.Errors,
+			P99Ns:    int64(cs.Latency.Quantile(0.99)),
+		})
+	}
+	return out
+}
+
+// placementState captures the URL table for flight bundles.
+func placementState(table *urltable.Table) any {
+	type placement struct {
+		Path      string   `json:"path"`
+		Locations []string `json:"locations"`
+		Hits      int64    `json:"hits"`
+		Pinned    bool     `json:"pinned,omitempty"`
+		Priority  int      `json:"priority,omitempty"`
+	}
+	var out []placement
+	table.Walk(func(r urltable.Record) {
+		locs := make([]string, len(r.Locations))
+		for i, id := range r.Locations {
+			locs[i] = string(id)
+		}
+		out = append(out, placement{
+			Path:      r.Path,
+			Locations: locs,
+			Hits:      r.Hits,
+			Pinned:    r.Pinned,
+			Priority:  r.Priority,
+		})
+	})
+	return out
 }
 
 // synthesize produces deterministic object bytes.

@@ -29,6 +29,7 @@ func main() {
 	scenario := flag.String("scenario", "day", "built-in scenario name (day|flash-crowd|surge)")
 	specFile := flag.String("spec", "", "JSON workload-spec file (overrides -scenario)")
 	out := flag.String("out", "timeline.csv", "timeline CSV path (- for stdout)")
+	journalCSV := flag.String("journal-csv", "", "also write the planner decision journal as CSV (- for stdout)")
 	seed := flag.Int64("seed", 0, "override the spec's seed (0 = keep)")
 	timeScale := flag.Float64("time-scale", 0, "override the spec's time compression (0 = keep)")
 	interval := flag.Duration("interval", 0, "override the timeline aggregation interval (0 = keep)")
@@ -44,13 +45,13 @@ func main() {
 	if *admit {
 		adm = &sim.AdmissionParams{MaxConcurrent: *admitMax, CriticalHeadroom: *admitHeadroom}
 	}
-	if err := run(*scenario, *specFile, *out, *seed, *timeScale, *interval, *scheme, *autobalance, adm, *quiet); err != nil {
+	if err := run(*scenario, *specFile, *out, *journalCSV, *seed, *timeScale, *interval, *scheme, *autobalance, adm, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "simrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario, specFile, out string, seed int64, timeScale float64, interval time.Duration, scheme string, autobalance bool, adm *sim.AdmissionParams, quiet bool) error {
+func run(scenario, specFile, out, journalCSV string, seed int64, timeScale float64, interval time.Duration, scheme string, autobalance bool, adm *sim.AdmissionParams, quiet bool) error {
 	var spec *workload.Spec
 	var err error
 	if specFile != "" {
@@ -104,12 +105,29 @@ func run(scenario, specFile, out string, seed int64, timeScale float64, interval
 	if err := timeline.WriteCSV(w); err != nil {
 		return err
 	}
+	if journalCSV != "" {
+		jw := os.Stdout
+		if journalCSV != "-" {
+			f, err := os.Create(journalCSV)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }()
+			jw = f
+		}
+		if err := timeline.WriteDecisionsCSV(jw); err != nil {
+			return err
+		}
+	}
 	if !quiet {
 		fmt.Fprint(os.Stderr, timeline.Summary())
 		factor := float64(timeline.VirtualDuration) / float64(wall)
 		fmt.Fprintf(os.Stderr, "  wall %v (%.0fx time compression)\n", wall.Round(time.Millisecond), factor)
 		if out != "-" {
 			fmt.Fprintf(os.Stderr, "  timeline written to %s\n", out)
+		}
+		if journalCSV != "" && journalCSV != "-" {
+			fmt.Fprintf(os.Stderr, "  %d planner decisions written to %s\n", len(timeline.Decisions), journalCSV)
 		}
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"webcluster/internal/distributor"
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
+	"webcluster/internal/journal"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/mgmt"
 	"webcluster/internal/monitor"
@@ -173,6 +175,23 @@ type Options struct {
 	// in-band deadline propagation). Nil leaves the request path exactly
 	// as without the subsystem.
 	Admission *admission.Options
+	// JournalSize sizes each decision journal's ring (one on the front
+	// end, one per node); 0 means journal.DefaultSize. The journal is
+	// always on — like telemetry, it is fixed memory and its record path
+	// allocates nothing.
+	JournalSize int
+	// FlightDir, when non-empty, enables the flight recorder: incident
+	// bundles (recent journal window + telemetry + placement state) are
+	// written there on SLO burn-rate breaches, console dumps, and
+	// crash recovery.
+	FlightDir string
+	// FlightBudgets are the per-class SLO budgets the flight recorder's
+	// burn-rate watcher monitors; empty disables the watcher (manual and
+	// crash dumps still work).
+	FlightBudgets []journal.Budget
+	// FlightWindow bounds how much journal history one bundle carries;
+	// 0 means the recorder's default (30s).
+	FlightWindow time.Duration
 }
 
 // DefaultSpec returns a 3-node heterogeneous development cluster.
@@ -202,6 +221,13 @@ type Cluster struct {
 	// Telemetry is the distributor's observability layer (span ring,
 	// metrics registry); the controller scrapes it for cluster stats.
 	Telemetry *telemetry.Telemetry
+	// Journal is the front end's decision journal; every control-plane
+	// actor in this process records into it (per-node agent journals live
+	// in the brokers and are merged by the controller on scrape).
+	Journal *journal.Journal
+	// Recorder is the flight recorder, nil unless Options.FlightDir was
+	// set.
+	Recorder *journal.Recorder
 	// FrontAddr is the distributor's client-facing address.
 	FrontAddr string
 	// ConsoleAddr is the console endpoint ("" when disabled).
@@ -241,6 +267,11 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 	}
 	c.Table = urltable.New(urltable.Options{CacheEntries: cacheEntries})
 	c.Controller = mgmt.NewController(c.Table)
+	c.Journal = journal.New(journal.Options{Node: "front", Size: opts.JournalSize})
+	c.Controller.SetJournal(c.Journal)
+	// Injected faults become journal events too, so a chaos bundle shows
+	// the fault alongside the failover it provoked (nil-safe).
+	opts.Faults.SetJournal(c.Journal)
 
 	for i := range spec.Nodes {
 		ns := spec.Nodes[i]
@@ -268,7 +299,8 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		if serr != nil {
 			return nil, fmt.Errorf("core: node %s: %w", ns.ID, serr)
 		}
-		broker := mgmt.NewBroker(mgmt.Env{Node: ns.ID, Store: store, Server: srv})
+		nodeJnl := journal.New(journal.Options{Node: string(ns.ID), Size: opts.JournalSize})
+		broker := mgmt.NewBroker(mgmt.Env{Node: ns.ID, Store: store, Server: srv, Journal: nodeJnl})
 		brokerAddr, serr := broker.Start("127.0.0.1:0")
 		if serr != nil {
 			return nil, fmt.Errorf("core: broker %s: %w", ns.ID, serr)
@@ -311,6 +343,7 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 		Faults:         opts.Faults,
 		Cache:          c.Cache,
 		Telemetry:      c.Telemetry,
+		Journal:        c.Journal,
 		Admission:      opts.Admission,
 	})
 	if derr != nil {
@@ -356,9 +389,77 @@ func Launch(opts Options) (cluster *Cluster, err error) {
 				c.Distributor.SetAvailable(config.NodeID(ev.Node), ev.Up)
 			})
 		c.Monitor.SetFaults(opts.Faults)
+		c.Monitor.SetJournal(c.Journal)
 		c.Monitor.Start()
 	}
+
+	if opts.FlightDir != "" {
+		rec, rerr := journal.NewRecorder(journal.RecorderOptions{
+			Journal: c.Journal,
+			Dir:     opts.FlightDir,
+			Window:  opts.FlightWindow,
+			Budgets: opts.FlightBudgets,
+			Stats:   c.classStats,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("core: %w", rerr)
+		}
+		rec.AddSource("telemetry", func() any { return c.Telemetry.Report(32) })
+		rec.AddSource("placement", func() any { return c.placementState() })
+		c.Recorder = rec
+		c.Controller.SetDumper(rec.Dump)
+		rec.Start()
+	}
 	return c, nil
+}
+
+// classStats adapts the telemetry registry's per-class counters to the
+// flight recorder's burn-rate watcher.
+func (c *Cluster) classStats() []journal.ClassStats {
+	snap := c.Telemetry.Registry().Snapshot()
+	names := make([]string, 0, len(snap.Classes))
+	for name := range snap.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]journal.ClassStats, 0, len(names))
+	for _, name := range names {
+		cs := snap.Classes[name]
+		out = append(out, journal.ClassStats{
+			Class:    name,
+			Requests: cs.Requests,
+			Errors:   cs.Errors,
+			P99Ns:    int64(cs.Latency.Quantile(0.99)),
+		})
+	}
+	return out
+}
+
+// placementState captures the URL table for flight-recorder bundles: the
+// placement the cluster was actually running when the incident fired.
+func (c *Cluster) placementState() any {
+	type placement struct {
+		Path      string   `json:"path"`
+		Locations []string `json:"locations"`
+		Hits      int64    `json:"hits"`
+		Pinned    bool     `json:"pinned,omitempty"`
+		Priority  int      `json:"priority,omitempty"`
+	}
+	var out []placement
+	c.Table.Walk(func(r urltable.Record) {
+		locs := make([]string, len(r.Locations))
+		for i, id := range r.Locations {
+			locs[i] = string(id)
+		}
+		out = append(out, placement{
+			Path:      r.Path,
+			Locations: locs,
+			Hits:      r.Hits,
+			Pinned:    r.Pinned,
+			Priority:  r.Priority,
+		})
+	})
+	return out
 }
 
 // registerDefaultDynamic installs synthetic CGI/ASP handlers matching the
@@ -471,6 +572,9 @@ func (c *Cluster) Get(path string) (*httpx.Response, error) {
 // Close shuts every component down, last-started first.
 func (c *Cluster) Close() error {
 	var errs []error
+	if c.Recorder != nil {
+		c.Recorder.Close()
+	}
 	if c.Monitor != nil {
 		c.Monitor.Close()
 	}

@@ -20,6 +20,7 @@ import (
 	"webcluster/internal/admission"
 	"webcluster/internal/conntrack"
 	"webcluster/internal/httpx"
+	"webcluster/internal/journal"
 	"webcluster/internal/respcache"
 	"webcluster/internal/telemetry"
 )
@@ -35,7 +36,9 @@ func (d *Distributor) Admission() *admission.Controller { return d.adm }
 // usual keep-alive contract.
 func (d *Distributor) admitRequest(client net.Conn, key conntrack.ClientKey, req *httpx.Request, sp *telemetry.Span) (class admission.Class, handled, connOK bool) {
 	class = d.adm.Classify(req.Header.Get("X-Dist-Class"), req.Path)
-	switch d.adm.Admit(class) {
+	verdict := d.adm.Admit(class)
+	d.journalAdmission(class, verdict)
+	switch verdict {
 	case admission.Admitted:
 		if b := d.adm.DeadlineBudget(class); b > 0 {
 			// In-band deadline: the client's propagated deadline (if any)
@@ -49,6 +52,36 @@ func (d *Distributor) admitRequest(client net.Conn, key conntrack.ClientKey, req
 		return class, h, ok
 	default: // admission.ShedReject
 		return class, true, d.writeShed(client, key, req, sp)
+	}
+}
+
+// journalAdmission records admission-ladder *shifts*: the first shed
+// verdict for a class after a quiet period (the ladder engaged) and the
+// first admit after shedding (the class recovered). Steady-state
+// requests — admitted while quiet, shed while already shedding — cost
+// one atomic load and record nothing.
+func (d *Distributor) journalAdmission(class admission.Class, verdict admission.Verdict) {
+	if d.jnl == nil {
+		return
+	}
+	if verdict == admission.Admitted {
+		if d.shedding[class].Load() && d.shedding[class].CompareAndSwap(true, false) {
+			name := class.String()
+			d.jnl.Record(journal.Event{
+				Actor:  journal.ActorDistributor,
+				Kind:   journal.KindAdmissionRecover,
+				Detail: name,
+			})
+		}
+		return
+	}
+	if !d.shedding[class].Load() && d.shedding[class].CompareAndSwap(false, true) {
+		name := class.String() + " " + verdict.String()
+		d.jnl.Record(journal.Event{
+			Actor:  journal.ActorDistributor,
+			Kind:   journal.KindAdmissionShed,
+			Detail: name,
+		})
 	}
 }
 

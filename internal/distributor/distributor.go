@@ -23,6 +23,7 @@ import (
 	"webcluster/internal/conntrack"
 	"webcluster/internal/faults"
 	"webcluster/internal/httpx"
+	"webcluster/internal/journal"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/respcache"
 	"webcluster/internal/telemetry"
@@ -84,6 +85,11 @@ type Options struct {
 	// to back ends via the X-Dist-Trace header. Nil means untraced; the
 	// per-class stats registry exists either way.
 	Telemetry *telemetry.Telemetry
+	// Journal, when non-nil, receives structured decision events from
+	// the error paths only: replica failovers, exhausted retries, and
+	// admission-ladder shifts. The happy relay path records nothing, so
+	// journaling costs the fast path zero allocations.
+	Journal *journal.Journal
 	// Admission, when non-nil, enables SLO-class overload control:
 	// requests are classified (critical/interactive/batch), admitted
 	// through per-class weighted concurrency gates, stamped with
@@ -142,7 +148,14 @@ type Distributor struct {
 	closeOne  sync.Once
 	wg        sync.WaitGroup
 
-	tel     *telemetry.Telemetry
+	tel *telemetry.Telemetry
+	jnl *journal.Journal
+	// shedding tracks, per SLO class, whether the last journaled
+	// admission verdict was a shed — so the journal records ladder
+	// *transitions* (first shed, first recovery) instead of one event
+	// per rejected request.
+	shedding [admission.NumClasses]atomic.Bool
+
 	stats   *telemetry.Registry
 	routed  atomic.Int64
 	noRoute atomic.Int64
@@ -220,6 +233,7 @@ func New(opts Options) (*Distributor, error) {
 		mapping:   conntrack.NewMappingTableStriped(shards),
 		cache:     opts.Cache,
 		tel:       opts.Telemetry,
+		jnl:       opts.Journal,
 		stats:     stats,
 		tracker:   loadbal.NewTracker(weights),
 		active:    make(map[config.NodeID]*atomic.Int64, len(opts.Cluster.Nodes)),
@@ -560,6 +574,22 @@ func (d *Distributor) relayRequest(s *shard, client net.Conn, key conntrack.Clie
 			if bindErr := d.mapping.Bind(key, alt); bindErr != nil {
 				return false
 			}
+			if d.jnl != nil {
+				// The failover decision itself is journal-worthy: which
+				// node failed, which replica took over, and the incident
+				// trace that links this to the fault and the monitor's
+				// down transition.
+				failed := string(node)
+				tr := d.jnl.Incident(failed)
+				d.jnl.Record(journal.Event{
+					Actor:  journal.ActorDistributor,
+					Kind:   journal.KindFailover,
+					Trace:  tr,
+					Node:   failed,
+					Path:   req.Path,
+					Detail: string(alt),
+				})
+			}
 			altCounter := d.active[alt]
 			altCounter.Add(1)
 			pc, resp, err = d.exchangeStart(s, alt, req)
@@ -571,6 +601,19 @@ func (d *Distributor) relayRequest(s *shard, client net.Conn, key conntrack.Clie
 		sp.MarkBackend()
 		sp.SetStatus(502)
 		sp.SetOutcome("bad-gateway")
+		if d.jnl != nil {
+			failed := string(node)
+			tr := d.jnl.Incident(failed)
+			detail := err.Error()
+			d.jnl.Record(journal.Event{
+				Actor:  journal.ActorDistributor,
+				Kind:   journal.KindRetryExhausted,
+				Trace:  tr,
+				Node:   failed,
+				Path:   req.Path,
+				Detail: detail,
+			})
+		}
 		out := httpx.NewResponse(req.Proto, 502, []byte("backend error\n"))
 		d.logAccess(key, req, 502, len(out.Body))
 		_ = httpx.WriteResponse(client, out)

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"webcluster/internal/journal"
 )
 
 // ErrInjected marks every failure manufactured by an Injector, so tests
@@ -87,6 +89,12 @@ type Injector struct {
 	gen   uint64
 	rules map[string]ruleEntry
 	fired map[string]int64
+	// jnl, when set, receives one KindFault event the first time each
+	// (point, rule generation) fires — the injected fault becomes part of
+	// the incident's causal record without flooding the journal on every
+	// faulted byte. noted holds the last journaled generation per point.
+	jnl   *journal.Journal
+	noted map[string]uint64
 }
 
 // New returns an injector whose probabilistic decisions derive from seed.
@@ -162,12 +170,53 @@ func (in *Injector) roll(r Rule) bool {
 	return in.rng.Float64() < r.Probability
 }
 
+// SetJournal attaches a decision journal to the injector. The journal's
+// locks are leaves (per-slot and journal-internal only), so recording
+// from under in.mu cannot deadlock. Safe on a nil receiver.
+func (in *Injector) SetJournal(j *journal.Journal) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.jnl = j
+	if in.noted == nil {
+		in.noted = make(map[string]uint64)
+	}
+}
+
 // note counts one fired fault at point (test observability: schedules
-// assert their faults actually hit something).
+// assert their faults actually hit something) and journals the first
+// firing of each rule generation, opening the target node's incident
+// trace so downstream failovers and purges link back to the fault.
 func (in *Injector) note(point string) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.fired[point]++
+	if in.jnl == nil {
+		return
+	}
+	e, ok := in.lookup(point)
+	if !ok || in.noted[point] == e.gen {
+		return
+	}
+	in.noted[point] = e.gen
+	var node string
+	if i := strings.IndexByte(point, '/'); i >= 0 {
+		node = point[i+1:]
+	}
+	var tr uint64
+	if node != "" {
+		tr = in.jnl.Incident(node)
+	}
+	in.jnl.Record(journal.Event{
+		Actor:  journal.ActorFaults,
+		Kind:   journal.KindFault,
+		Trace:  tr,
+		Node:   node,
+		Detail: point,
+		A:      int64(e.gen),
+	})
 }
 
 // Fired returns how many faults have fired at point.

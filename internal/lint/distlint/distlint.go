@@ -1,4 +1,4 @@
-// Package distlint assembles the repo's analyzer suite: the eight checks
+// Package distlint assembles the repo's analyzer suite: the nine checks
 // that machine-enforce the concurrency and data-path invariants the
 // fast-path PRs introduced (see DESIGN.md §10 and §15), the per-package
 // scoping rules, and the one sanctioned suppression form
@@ -31,6 +31,7 @@ import (
 	"webcluster/internal/lint/cowdiscipline"
 	"webcluster/internal/lint/deadlinecheck"
 	"webcluster/internal/lint/faulthook"
+	"webcluster/internal/lint/journalsafe"
 	"webcluster/internal/lint/leakcheck"
 	"webcluster/internal/lint/load"
 	"webcluster/internal/lint/lockscope"
@@ -57,6 +58,7 @@ func Suite() []*analysis.Analyzer {
 		cowdiscipline.Analyzer,
 		deadlinecheck.Analyzer,
 		faulthook.Analyzer,
+		journalsafe.Analyzer,
 		leakcheck.Analyzer,
 		lockscope.Analyzer,
 		queuewait.Analyzer,

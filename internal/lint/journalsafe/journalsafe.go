@@ -1,0 +1,140 @@
+// Package journalsafe enforces the zero-allocation contract of the
+// decision journal's record path: journal.Record is called from relay
+// failover, admission shedding, monitor transitions, and fault hooks —
+// places where an allocation or a blocking call in the argument list
+// would tax exactly the path the journal exists to observe. The rule:
+//
+//  1. No function or method call inside a Record argument — err.Error(),
+//     fmt.Sprintf, x.String() all allocate (and an arbitrary call may
+//     block). Hoist the call into a local before the Record line; the
+//     hoisted form also keeps the expensive work out of the argument
+//     list when recording is conditional.
+//  2. No string concatenation inside a Record argument — `a + b` on
+//     strings allocates per call.
+//  3. Conversions to basic types (string(nodeID), int64(gen)) are
+//     exempt — they are free — unless the operand is a byte/rune slice,
+//     whose string conversion copies.
+//
+// The journal.Event composite literal itself is fine: Record takes it
+// by value and the copy stays on the stack.
+package journalsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"webcluster/internal/lint/analysis"
+	"webcluster/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "journalsafe",
+	Doc: "check that journal.Record arguments stay allocation-free: no " +
+		"calls or string concatenation; precompute into locals",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isJournalRecord(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				checkArg(pass, arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isJournalRecord reports whether call is (*journal.Journal).Record.
+func isJournalRecord(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Record" {
+		return false
+	}
+	t := lintutil.TypeOf(pass.TypesInfo, sel.X)
+	return lintutil.IsNamed(t, "webcluster/internal/journal", "Journal")
+}
+
+// checkArg walks one Record argument expression and reports every
+// allocating construct in it.
+func checkArg(pass *analysis.Pass, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if conv, sliceOperand := basicConversion(pass, v); conv {
+				if sliceOperand {
+					pass.Reportf(v.Pos(), "string conversion from a slice allocates in a journal.Record argument; precompute into a local before recording")
+				}
+				return true // descend into the converted operand
+			}
+			if freeBuiltin(pass, v) {
+				return true // len/cap/min/max never allocate or block
+			}
+			name := lintutil.CalleeName(v)
+			if name == "" {
+				name = "function"
+			}
+			pass.Reportf(v.Pos(), "call of %s inside a journal.Record argument may allocate or block on the record path; hoist it into a local before recording", name)
+			return false // the one report covers the whole call
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isString(lintutil.TypeOf(pass.TypesInfo, v)) {
+				pass.Reportf(v.Pos(), "string concatenation allocates in a journal.Record argument; precompute into a local before recording")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// basicConversion reports whether call is a type conversion to a basic
+// type, and whether its operand is a byte/rune slice (the one basic
+// conversion that allocates).
+func basicConversion(pass *analysis.Pass, call *ast.CallExpr) (conv, sliceOperand bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false, false
+	}
+	if _, basic := tv.Type.Underlying().(*types.Basic); !basic {
+		return false, false
+	}
+	if len(call.Args) == 1 {
+		if at := lintutil.TypeOf(pass.TypesInfo, call.Args[0]); at != nil {
+			if _, slice := at.Underlying().(*types.Slice); slice {
+				return true, true
+			}
+		}
+	}
+	return true, false
+}
+
+// freeBuiltin reports whether call invokes one of the builtins that
+// never allocate or block (append/make/new allocate and stay flagged).
+func freeBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, builtin := lintutil.ObjectOf(pass.TypesInfo, id).(*types.Builtin); !builtin {
+		return false
+	}
+	switch id.Name {
+	case "len", "cap", "min", "max", "real", "imag":
+		return true
+	}
+	return false
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

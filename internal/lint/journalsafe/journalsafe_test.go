@@ -1,0 +1,12 @@
+package journalsafe_test
+
+import (
+	"testing"
+
+	"webcluster/internal/lint/journalsafe"
+	"webcluster/internal/lint/linttest"
+)
+
+func TestJournalSafe(t *testing.T) {
+	linttest.Run(t, "testdata/a", journalsafe.Analyzer)
+}

@@ -1,0 +1,110 @@
+// Fixture for the journalsafe analyzer: journal.Record arguments must
+// stay allocation-free — no calls, no string concatenation. The
+// allowed patterns mirror the product callsites: hoist the expensive
+// expression into a local on the line above, keep only basic
+// conversions inside the Event literal.
+package fixture
+
+import (
+	"fmt"
+
+	"webcluster/internal/journal"
+)
+
+type nodeID string
+
+// --- flagged ---
+
+func concatInArg(j *journal.Journal, class, verdict string) {
+	j.Record(journal.Event{
+		Actor:  journal.ActorDistributor,
+		Kind:   journal.KindAdmissionShed,
+		Detail: class + " " + verdict, // want `string concatenation allocates in a journal.Record argument`
+	})
+}
+
+func errorCallInArg(j *journal.Journal, err error) {
+	j.Record(journal.Event{
+		Actor:  journal.ActorMonitor,
+		Kind:   journal.KindNodeDown,
+		Detail: err.Error(), // want `call of Error inside a journal.Record argument`
+	})
+}
+
+func sprintfInArg(j *journal.Journal, n int) {
+	j.Record(journal.Event{
+		Actor:  journal.ActorFaults,
+		Kind:   journal.KindFault,
+		Detail: fmt.Sprintf("gen %d", n), // want `call of Sprintf inside a journal.Record argument`
+	})
+}
+
+func incidentCallInArg(j *journal.Journal, node string) {
+	j.Record(journal.Event{
+		Actor: journal.ActorDistributor,
+		Kind:  journal.KindFailover,
+		Trace: j.Incident(node), // want `call of Incident inside a journal.Record argument`
+		Node:  node,
+	})
+}
+
+func sliceConversionInArg(j *journal.Journal, raw []byte) {
+	j.Record(journal.Event{
+		Actor:  journal.ActorAgent,
+		Kind:   journal.KindAgentOp,
+		Detail: string(raw), // want `string conversion from a slice allocates in a journal.Record argument`
+	})
+}
+
+func appendInArg(j *journal.Journal, parts []string, s string) {
+	j.Record(journal.Event{
+		Actor: journal.ActorAgent,
+		Kind:  journal.KindAgentOp,
+		A:     int64(len(append(parts, s))), // want `call of append inside a journal.Record argument`
+	})
+}
+
+// --- allowed ---
+
+// freeBuiltins never allocate: len/cap under a basic conversion.
+func freeBuiltins(j *journal.Journal, events []int) {
+	j.Record(journal.Event{
+		Actor: journal.ActorRecorder,
+		Kind:  journal.KindSnapshot,
+		A:     int64(len(events)),
+		B:     int64(cap(events)),
+	})
+}
+
+// hoisted is the product idiom: precompute, then record.
+func hoisted(j *journal.Journal, node nodeID, err error) {
+	detail := err.Error()
+	tr := j.Incident(string(node))
+	j.Record(journal.Event{
+		Actor:  journal.ActorMonitor,
+		Kind:   journal.KindNodeDown,
+		Trace:  tr,
+		Node:   string(node), // basic conversion: free
+		Detail: detail,
+	})
+}
+
+func basicConversions(j *journal.Journal, node nodeID, gen uint64) {
+	j.Record(journal.Event{
+		Actor:  journal.ActorFaults,
+		Kind:   journal.KindFault,
+		Node:   string(node),
+		A:      int64(gen),
+		Detail: "point",
+	})
+}
+
+// otherRecord proves the check is typed: a Record method on some other
+// type is not the journal's record path.
+type sink struct{}
+
+func (sink) Record(s string) string { return fmt.Sprintf("[%s]", s) }
+
+func notTheJournal(s sink, err error) string {
+	return s.Record(err.Error() + "!")
+}

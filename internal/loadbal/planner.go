@@ -2,6 +2,7 @@ package loadbal
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"webcluster/internal/config"
@@ -81,6 +82,29 @@ func DefaultPlannerOptions() PlannerOptions {
 	}
 }
 
+// Decision is one planner action together with the inputs that
+// produced it — what the journal records so `console explain` can
+// answer "what did the planner see when it placed this".
+type Decision struct {
+	Action
+	// LoadCV is the coefficient of variation of the interval loads the
+	// planner ran against.
+	LoadCV float64
+	// Hits is the document's interval hit count (its demand reading).
+	Hits int64
+	// SourceLoad and TargetLoad are the load readings of the chosen
+	// nodes (offloads have no source).
+	SourceLoad float64
+	TargetLoad float64
+	// Reason names the planner branch: "availability-floor",
+	// "replicate-hot-to-cold", "offload-hot", or "stage-sole-copy".
+	Reason string
+	// Rejected lists alternatives considered and passed over —
+	// candidate source replicas with their loads for replications,
+	// sole-copy paths that could not be shed for offloads.
+	Rejected []string
+}
+
 // Plan computes the interval's placement actions from per-node loads and
 // the URL table (§3.3): underutilized nodes receive replicas of the most
 // popular content they lack; overloaded nodes shed copies of their hottest
@@ -88,18 +112,32 @@ func DefaultPlannerOptions() PlannerOptions {
 // copies only, the planner first replicates its hottest object to the
 // least-loaded node so a later interval can complete the offload.
 func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOptions) []Action {
+	decs := PlanDecisions(loads, table, opts)
+	actions := make([]Action, len(decs))
+	for i, d := range decs {
+		actions[i] = d.Action
+	}
+	return actions
+}
+
+// PlanDecisions is Plan with its working shown: the same actions in
+// the same order, each carrying the load CV, demand reading, chosen
+// node loads, branch reason, and rejected alternatives.
+func PlanDecisions(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOptions) []Decision {
 	if opts.MaxActionsPerNode <= 0 {
 		opts.MaxActionsPerNode = 3
 	}
 	levels := Classify(loads, opts.Threshold)
 	order := SortedNodes(loads) // coldest first
+	cv := LoadCV(loads)
 
-	var actions []Action
+	var actions []Decision
 	// pairSeen dedups (path → target) decisions across branches;
 	// perTarget enforces MaxActionsPerNode on receiving nodes too.
 	pairSeen := make(map[string]bool)
 	perTarget := make(map[config.NodeID]int)
-	add := func(a Action) bool {
+	add := func(d Decision) bool {
+		a := d.Action
 		key := a.Path + "→" + string(a.Target) + "/" + a.Kind.String()
 		if pairSeen[key] {
 			return false
@@ -111,7 +149,10 @@ func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOp
 		if a.Kind == ActionReplicate {
 			perTarget[a.Target]++
 		}
-		actions = append(actions, a)
+		d.LoadCV = cv
+		d.SourceLoad = loads[a.Source]
+		d.TargetLoad = loads[a.Target]
+		actions = append(actions, d)
 		return true
 	}
 
@@ -151,11 +192,17 @@ func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOp
 			if r.HasLocation(target) {
 				continue
 			}
-			if add(Action{
-				Kind:   ActionReplicate,
-				Path:   r.Path,
-				Source: leastLoadedOf(r.Locations, loads),
-				Target: target,
+			source := leastLoadedOf(r.Locations, loads)
+			if add(Decision{
+				Action: Action{
+					Kind:   ActionReplicate,
+					Path:   r.Path,
+					Source: source,
+					Target: target,
+				},
+				Hits:     r.Hits,
+				Reason:   "availability-floor",
+				Rejected: rejectedSources(r.Locations, source, loads),
 			}) {
 				need--
 			}
@@ -176,11 +223,17 @@ func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOp
 			if r.HasLocation(id) || len(r.Locations) == 0 {
 				continue
 			}
-			if add(Action{
-				Kind:   ActionReplicate,
-				Path:   r.Path,
-				Source: leastLoadedOf(r.Locations, loads),
-				Target: id,
+			source := leastLoadedOf(r.Locations, loads)
+			if add(Decision{
+				Action: Action{
+					Kind:   ActionReplicate,
+					Path:   r.Path,
+					Source: source,
+					Target: id,
+				},
+				Hits:     r.Hits,
+				Reason:   "replicate-hot-to-cold",
+				Rejected: rejectedSources(r.Locations, source, loads),
 			}) {
 				n++
 			}
@@ -196,6 +249,8 @@ func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOp
 		entries := table.EntriesAt(id) // already hottest-first
 		n := 0
 		soleHot := ""
+		var soleHits int64
+		var soleSkipped []string
 		for _, r := range entries {
 			if n >= opts.MaxActionsPerNode {
 				break
@@ -209,10 +264,19 @@ func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOp
 			if len(r.Locations) < 2 {
 				if soleHot == "" {
 					soleHot = r.Path
+					soleHits = r.Hits
+				}
+				if len(soleSkipped) < 3 {
+					soleSkipped = append(soleSkipped, r.Path+":sole-copy")
 				}
 				continue
 			}
-			if add(Action{Kind: ActionOffload, Path: r.Path, Target: id}) {
+			if add(Decision{
+				Action:   Action{Kind: ActionOffload, Path: r.Path, Target: id},
+				Hits:     r.Hits,
+				Reason:   "offload-hot",
+				Rejected: soleSkipped,
+			}) {
 				n++
 			}
 		}
@@ -222,15 +286,60 @@ func Plan(loads map[config.NodeID]float64, table *urltable.Table, opts PlannerOp
 			if target == id {
 				target = order[1]
 			}
-			add(Action{
-				Kind:   ActionReplicate,
-				Path:   soleHot,
-				Source: id,
-				Target: target,
+			add(Decision{
+				Action: Action{
+					Kind:   ActionReplicate,
+					Path:   soleHot,
+					Source: id,
+					Target: target,
+				},
+				Hits:   soleHits,
+				Reason: "stage-sole-copy",
 			})
 		}
 	}
 	return actions
+}
+
+// rejectedSources formats the replica locations that were NOT picked as
+// the replication source, with the loads that ruled them out.
+func rejectedSources(locs []config.NodeID, chosen config.NodeID, loads map[config.NodeID]float64) []string {
+	if len(locs) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(locs)-1)
+	for _, id := range locs {
+		if id == chosen {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s(%.3f)", id, loads[id]))
+	}
+	return out
+}
+
+// LoadCV is the coefficient of variation (stddev/mean) of the load
+// readings — the §3.3 imbalance measure the planner's decisions are
+// judged against. Nodes are summed in sorted order so the float result
+// is deterministic for a given map.
+func LoadCV(loads map[config.NodeID]float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	order := SortedNodes(loads)
+	var sum float64
+	for _, id := range order {
+		sum += loads[id]
+	}
+	mean := sum / float64(len(order))
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, id := range order {
+		d := loads[id] - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(order))) / mean
 }
 
 // sortByHits orders records hottest-first with path tiebreak for

@@ -23,6 +23,7 @@ import (
 
 	"webcluster/internal/backend"
 	"webcluster/internal/config"
+	"webcluster/internal/journal"
 	"webcluster/internal/monitor"
 	"webcluster/internal/telemetry"
 )
@@ -54,6 +55,9 @@ const (
 	// OpTelemetry returns the node's telemetry report (metrics snapshot
 	// plus slowest recent spans) for the single-system-image stats plane.
 	OpTelemetry
+	// OpJournal returns the node's recent decision-journal events for
+	// the controller's merged cluster journal.
+	OpJournal
 )
 
 // String names the op.
@@ -77,6 +81,8 @@ func (o Op) String() string {
 		return "checksum"
 	case OpTelemetry:
 		return "telemetry"
+	case OpJournal:
+		return "journal"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -92,7 +98,7 @@ type Spec struct {
 // BuiltinSpecs returns the standard agent repository contents: one agent
 // per management function, named as the controller dispatches them.
 func BuiltinSpecs() []Spec {
-	ops := []Op{OpPing, OpStatus, OpDeleteFile, OpStoreFile, OpFetchFile, OpListFiles, OpReplaceFile, OpChecksum, OpTelemetry}
+	ops := []Op{OpPing, OpStatus, OpDeleteFile, OpStoreFile, OpFetchFile, OpListFiles, OpReplaceFile, OpChecksum, OpTelemetry, OpJournal}
 	specs := make([]Spec, len(ops))
 	for i, op := range ops {
 		specs[i] = Spec{Name: op.String(), Op: op}
@@ -116,6 +122,7 @@ type Result struct {
 	Paths     []string            `json:"paths,omitempty"`
 	Status    *monitor.NodeStatus `json:"status,omitempty"`
 	Telemetry *telemetry.Report   `json:"telemetry,omitempty"`
+	Journal   []journal.Event     `json:"journal,omitempty"`
 }
 
 // Env is the node-local environment an agent executes against.
@@ -128,12 +135,33 @@ type Env struct {
 	// Telemetry is the node's observability layer for OpTelemetry
 	// scrapes. Defaults to Server's when nil.
 	Telemetry *telemetry.Telemetry
-	Now       func() time.Time
+	// Journal is the node's decision journal; mutating ops record into
+	// it and OpJournal scrapes it. Nil disables both (journal methods
+	// are nil-safe).
+	Journal *journal.Journal
+	Now     func() time.Time
 }
 
 // telemetryReportSpans caps how many spans one OpTelemetry scrape ships
 // (the slowest ones; the console merges and re-caps across nodes).
 const telemetryReportSpans = 32
+
+// journalReportEvents caps how many events one OpJournal scrape ships
+// (the newest ones; the controller merges across nodes).
+const journalReportEvents = 256
+
+// journalAgentOp records one successful mutating agent op into the
+// node's journal (a no-op when the node has none).
+func journalAgentOp(env Env, opName, path string) {
+	node := string(env.Node)
+	env.Journal.Record(journal.Event{
+		Actor:  journal.ActorAgent,
+		Kind:   journal.KindAgentOp,
+		Node:   node,
+		Path:   path,
+		Detail: opName,
+	})
+}
 
 // ExecuteOp runs one agent op in env.
 func ExecuteOp(op Op, env Env, args Args) (Result, error) {
@@ -183,6 +211,7 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 		if env.Server != nil {
 			env.Server.InvalidateCache(args.Path)
 		}
+		journalAgentOp(env, "delete-file", args.Path)
 		return Result{Message: "deleted " + args.Path}, nil
 
 	case OpStoreFile:
@@ -197,6 +226,7 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 				if env.Server != nil {
 					env.Server.InvalidateCache(args.Path)
 				}
+				journalAgentOp(env, "store-file", args.Path)
 				return Result{Message: "placed " + args.Path}, nil
 			}
 			// Materialize synthetic bytes for stores that keep data.
@@ -208,6 +238,7 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 		if env.Server != nil {
 			env.Server.InvalidateCache(args.Path)
 		}
+		journalAgentOp(env, "store-file", args.Path)
 		return Result{Message: "stored " + args.Path}, nil
 
 	case OpFetchFile:
@@ -246,6 +277,7 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 		if env.Server != nil {
 			env.Server.InvalidateCache(args.Path)
 		}
+		journalAgentOp(env, "replace-file", args.Path)
 		return Result{Message: "replaced " + args.Path}, nil
 
 	case OpChecksum:
@@ -269,6 +301,12 @@ func ExecuteOp(op Op, env Env, args Args) (Result, error) {
 		}
 		report := tel.Report(telemetryReportSpans)
 		return Result{Telemetry: &report}, nil
+
+	case OpJournal:
+		if env.Journal == nil {
+			return Result{}, fmt.Errorf("mgmt: node %s has no journal", env.Node)
+		}
+		return Result{Journal: env.Journal.Snapshot(journalReportEvents)}, nil
 
 	default:
 		return Result{}, fmt.Errorf("mgmt: unknown op %v", op)

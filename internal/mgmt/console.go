@@ -11,6 +11,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/doctree"
+	"webcluster/internal/journal"
 	"webcluster/internal/monitor"
 	"webcluster/internal/respcache"
 	"webcluster/internal/telemetry"
@@ -59,6 +60,10 @@ type ConsoleResponse struct {
 	Stats *telemetry.ClusterStats `json:"stats,omitempty"`
 	// Traces carries the slowest recent spans across all nodes (traces).
 	Traces []telemetry.Span `json:"traces,omitempty"`
+	// Journal carries merged decision-journal events (journal).
+	Journal []journal.Event `json:"journal,omitempty"`
+	// Explain carries the placement explanation for one path (explain).
+	Explain *ExplainReport `json:"explain,omitempty"`
 }
 
 // SiteLoader services the console's loadsite command: generate a synthetic
@@ -272,6 +277,50 @@ func (s *ConsoleServer) handle(req ConsoleRequest) ConsoleResponse {
 	case "traces":
 		spans, missing := s.controller.ClusterTraces(req.Limit)
 		resp := ConsoleResponse{OK: true, Traces: spans}
+		if len(missing) > 0 {
+			resp.Message = fmt.Sprintf("unreachable: %v", missing)
+		}
+		return resp
+	case "journal":
+		var events []journal.Event
+		var missing []config.NodeID
+		if req.Node != "" {
+			// Single-node scrape, bypassing the merge.
+			res, err := s.controller.Dispatch(req.Node, OpJournal.String(), Args{})
+			if err != nil {
+				return fail(err)
+			}
+			events = res.Journal
+			if req.Limit > 0 && len(events) > req.Limit {
+				events = events[len(events)-req.Limit:]
+			}
+		} else {
+			events, missing = s.controller.ClusterJournal(req.Limit)
+		}
+		resp := ConsoleResponse{OK: true, Journal: events}
+		if len(missing) > 0 {
+			resp.Message = fmt.Sprintf("unreachable: %v", missing)
+		}
+		return resp
+	case "dump":
+		reason := req.Path
+		if reason == "" {
+			reason = "console dump"
+		}
+		path, err := s.controller.DumpFlight(reason)
+		if err != nil {
+			return fail(err)
+		}
+		return ConsoleResponse{OK: true, Message: "dumped " + path}
+	case "explain":
+		if req.Path == "" {
+			return fail(fmt.Errorf("console: explain requires a path"))
+		}
+		rep, missing, err := s.controller.Explain(req.Path, req.Limit)
+		if err != nil {
+			return fail(err)
+		}
+		resp := ConsoleResponse{OK: true, Explain: rep}
 		if len(missing) > 0 {
 			resp.Message = fmt.Sprintf("unreachable: %v", missing)
 		}

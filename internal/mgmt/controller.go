@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/doctree"
+	"webcluster/internal/journal"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/monitor"
 	"webcluster/internal/respcache"
@@ -43,6 +45,8 @@ type Controller struct {
 	audit   []string
 	cache   CacheView
 	tel     *telemetry.Telemetry
+	jnl     *journal.Journal
+	dumper  func(reason string) (string, error)
 
 	installsSent int64
 }
@@ -139,6 +143,42 @@ func (c *Controller) telemetryView() *telemetry.Telemetry {
 	return c.tel
 }
 
+// SetJournal attaches the front end's decision journal. The controller
+// records planner decisions, plan applications, and cache purges into
+// it, and merges it with per-node scrapes in ClusterJournal.
+func (c *Controller) SetJournal(j *journal.Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jnl = j
+}
+
+// journalView returns the attached journal; nil (which is safe to
+// record into) when none.
+func (c *Controller) journalView() *journal.Journal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jnl
+}
+
+// SetDumper attaches the flight recorder's manual trigger so the
+// console dump verb can reach it.
+func (c *Controller) SetDumper(fn func(reason string) (string, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dumper = fn
+}
+
+// DumpFlight triggers a flight-recorder bundle and returns its path.
+func (c *Controller) DumpFlight(reason string) (string, error) {
+	c.mu.Lock()
+	fn := c.dumper
+	c.mu.Unlock()
+	if fn == nil {
+		return "", errors.New("controller: no flight recorder attached")
+	}
+	return fn(reason)
+}
+
 // gatherReports scrapes the telemetry of every reachable node (via
 // OpTelemetry dispatch) plus the attached front-end layer. Nodes that
 // fail to answer are skipped — a single-system image over the nodes that
@@ -185,17 +225,105 @@ func (c *Controller) ClusterTraces(limit int) ([]telemetry.Span, []config.NodeID
 	return telemetry.MergeSpans(limit, lists...), missing
 }
 
+// ClusterJournal merges the front end's journal with every node's
+// OpJournal scrape into one time-ordered stream capped at limit (<=0
+// for the default 256). Nodes that fail to answer are returned so the
+// caller can surface the gap.
+func (c *Controller) ClusterJournal(limit int) ([]journal.Event, []config.NodeID) {
+	if limit <= 0 {
+		limit = journalReportEvents
+	}
+	var lists [][]journal.Event
+	if j := c.journalView(); j != nil {
+		lists = append(lists, j.Snapshot(0))
+	}
+	var missing []config.NodeID
+	for _, node := range c.Nodes() {
+		res, err := c.Dispatch(node, OpJournal.String(), Args{})
+		if err != nil {
+			missing = append(missing, node)
+			continue
+		}
+		lists = append(lists, res.Journal)
+	}
+	merged := journal.Merge(lists...)
+	if len(merged) > limit {
+		merged = merged[len(merged)-limit:]
+	}
+	return merged, missing
+}
+
+// ExplainReport is the console explain verb's answer: where a document
+// lives now, the journal events that shaped that placement, and the
+// most recent planner decision about it with the inputs the planner
+// saw (interval hits in Decision.A, load CV in Decision.F, branch and
+// rejected alternatives in Decision.Detail).
+type ExplainReport struct {
+	Path      string          `json:"path"`
+	Locations []config.NodeID `json:"locations"`
+	Pinned    bool            `json:"pinned"`
+	Priority  int             `json:"priority"`
+	Hits      int64           `json:"hits"`
+	Size      int64           `json:"size"`
+	// Decision is the newest planner decision concerning Path.
+	Decision *journal.Event `json:"decision,omitempty"`
+	// History is every journal event touching Path, oldest first.
+	History []journal.Event `json:"history,omitempty"`
+}
+
+// Explain looks up path and walks the merged cluster journal for the
+// events that explain its placement. limit caps History (<=0 keeps
+// everything in the journal window).
+func (c *Controller) Explain(path string, limit int) (*ExplainReport, []config.NodeID, error) {
+	rec, err := c.table.Lookup(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	events, missing := c.ClusterJournal(0)
+	rep := &ExplainReport{
+		Path:      rec.Path,
+		Locations: rec.Locations,
+		Pinned:    rec.Pinned,
+		Priority:  rec.Priority,
+		Hits:      rec.Hits,
+		Size:      rec.Size,
+	}
+	for _, ev := range events {
+		if ev.Path != path {
+			continue
+		}
+		rep.History = append(rep.History, ev)
+		if ev.Kind == journal.KindPlanReplicate || ev.Kind == journal.KindPlanOffload {
+			e := ev
+			rep.Decision = &e
+		}
+	}
+	if limit > 0 && len(rep.History) > limit {
+		rep.History = rep.History[len(rep.History)-limit:]
+	}
+	return rep, missing, nil
+}
+
 // purgeCache synchronously invalidates path in the front-end cache after
-// the op mutation committed, auditing the purge. Called with the mutation
-// already applied on every node and in the table, so a fetch racing the
-// purge can only observe post-mutation content.
-func (c *Controller) purgeCache(op, path string) {
+// the op mutation committed, auditing and journaling the purge (under
+// the incident trace when the mutation repairs one). Called with the
+// mutation already applied on every node and in the table, so a fetch
+// racing the purge can only observe post-mutation content.
+func (c *Controller) purgeCache(op, path string, trace uint64) {
 	v := c.cacheView()
 	if v == nil {
 		return
 	}
 	n := v.Invalidate(path)
 	c.logf("OK purge %s after %s (%d entries)", path, op, n)
+	c.journalView().Record(journal.Event{
+		Actor:  journal.ActorController,
+		Kind:   journal.KindPurge,
+		Trace:  trace,
+		Path:   path,
+		Detail: op,
+		A:      int64(n),
+	})
 }
 
 // Purge drops path from the front-end cache on demand (console
@@ -321,19 +449,46 @@ func (c *Controller) runStep(step doctree.Step) error {
 // step aborts before the table changes, so the distributor never routes to
 // content that was not actually placed.
 func (c *Controller) Execute(plan doctree.Plan) error {
+	return c.execute(plan, 0)
+}
+
+// execute is Execute with an incident trace for the journal record, so
+// repairs triggered by an open incident stay causally linked to it.
+func (c *Controller) execute(plan doctree.Plan, trace uint64) error {
+	j := c.journalView()
 	for _, step := range plan.Steps {
 		if err := c.runStep(step); err != nil {
 			c.logf("FAILED %s: %v", plan.Describe, err)
+			detail := plan.Describe + ": " + err.Error()
+			j.Record(journal.Event{
+				Actor:  journal.ActorController,
+				Kind:   journal.KindApplyFail,
+				Trace:  trace,
+				Detail: detail,
+			})
 			return fmt.Errorf("executing %q: %w", plan.Describe, err)
 		}
 	}
 	if plan.Apply != nil {
 		if err := plan.Apply(c.table); err != nil {
 			c.logf("FAILED table update for %s: %v", plan.Describe, err)
+			detail := plan.Describe + ": " + err.Error()
+			j.Record(journal.Event{
+				Actor:  journal.ActorController,
+				Kind:   journal.KindApplyFail,
+				Trace:  trace,
+				Detail: detail,
+			})
 			return fmt.Errorf("updating table for %q: %w", plan.Describe, err)
 		}
 	}
 	c.logf("OK %s", plan.Describe)
+	j.Record(journal.Event{
+		Actor:  journal.ActorController,
+		Kind:   journal.KindApply,
+		Trace:  trace,
+		Detail: plan.Describe,
+	})
 	return nil
 }
 
@@ -348,7 +503,7 @@ func (c *Controller) Insert(obj content.Object, data []byte, nodes ...config.Nod
 	}
 	// a path can be re-inserted after a delete while a 404 relay is in
 	// flight; the purge dooms any such fetch
-	c.purgeCache("insert", obj.Path)
+	c.purgeCache("insert", obj.Path, 0)
 	return nil
 }
 
@@ -361,7 +516,7 @@ func (c *Controller) Delete(path string) error {
 	if err := c.Execute(plan); err != nil {
 		return err
 	}
-	c.purgeCache("delete", path)
+	c.purgeCache("delete", path, 0)
 	return nil
 }
 
@@ -374,36 +529,48 @@ func (c *Controller) Rename(oldPath, newPath string) error {
 	if err := c.Execute(plan); err != nil {
 		return err
 	}
-	c.purgeCache("rename", oldPath)
-	c.purgeCache("rename", newPath)
+	c.purgeCache("rename", oldPath, 0)
+	c.purgeCache("rename", newPath, 0)
 	return nil
 }
 
 // Replicate copies an object to target (console operation; also the
 // auto-replication executor).
 func (c *Controller) Replicate(path string, source, target config.NodeID) error {
+	return c.replicate(path, source, target, 0)
+}
+
+// replicate is Replicate threading an incident trace through the
+// execute/purge journal records.
+func (c *Controller) replicate(path string, source, target config.NodeID, trace uint64) error {
 	plan, err := doctree.ReplicatePlan(c.table, path, source, target)
 	if err != nil {
 		return err
 	}
-	if err := c.Execute(plan); err != nil {
+	if err := c.execute(plan, trace); err != nil {
 		return err
 	}
-	c.purgeCache("replicate", path)
+	c.purgeCache("replicate", path, trace)
 	return nil
 }
 
 // Offload removes node's copy of an object (console operation; also the
 // auto-offload executor).
 func (c *Controller) Offload(path string, node config.NodeID) error {
+	return c.offload(path, node, 0)
+}
+
+// offload is Offload threading an incident trace through the
+// execute/purge journal records.
+func (c *Controller) offload(path string, node config.NodeID, trace uint64) error {
 	plan, err := doctree.OffloadPlan(c.table, path, node)
 	if err != nil {
 		return err
 	}
-	if err := c.Execute(plan); err != nil {
+	if err := c.execute(plan, trace); err != nil {
 		return err
 	}
-	c.purgeCache("offload", path)
+	c.purgeCache("offload", path, trace)
 	return nil
 }
 
@@ -416,7 +583,7 @@ func (c *Controller) Assign(path string, nodes ...config.NodeID) error {
 	if err := c.Execute(plan); err != nil {
 		return err
 	}
-	c.purgeCache("assign", path)
+	c.purgeCache("assign", path, 0)
 	return nil
 }
 
@@ -447,7 +614,7 @@ func (c *Controller) Update(path string, data []byte) error {
 	c.logf("OK update %s on %v (%d bytes)", path, rec.Locations, len(data))
 	// purge only after every replica holds the new content: a fetch that
 	// starts after this point reads post-mutation bytes from any node
-	c.purgeCache("update", path)
+	c.purgeCache("update", path, 0)
 	return nil
 }
 
@@ -518,20 +685,54 @@ func (c *Controller) Ping(node config.NodeID) error {
 // returning how many succeeded. Individual failures are audited and
 // skipped: a missed rebalance is recoverable next interval.
 func (c *Controller) ApplyActions(actions []loadbal.Action) (int, error) {
+	decs := make([]loadbal.Decision, len(actions))
+	for i, a := range actions {
+		decs[i] = loadbal.Decision{Action: a, Reason: "manual"}
+	}
+	return c.ApplyDecisions(decs, 0)
+}
+
+// ApplyDecisions executes the planner's decisions, journaling each one
+// with the inputs that produced it (demand, load CV, branch reason,
+// rejected alternatives) before applying it, all under trace so
+// repairs planned during an incident stay linked to the fault that
+// started it. Returns how many applied; individual failures are
+// audited and skipped.
+func (c *Controller) ApplyDecisions(decs []loadbal.Decision, trace uint64) (int, error) {
+	j := c.journalView()
 	applied := 0
 	var errs []error
-	for _, a := range actions {
+	for _, d := range decs {
+		kind := journal.KindPlanReplicate
+		if d.Kind == loadbal.ActionOffload {
+			kind = journal.KindPlanOffload
+		}
+		detail := d.Reason
+		if len(d.Rejected) > 0 {
+			detail = d.Reason + " rejected=" + strings.Join(d.Rejected, ",")
+		}
+		node := string(d.Target)
+		j.Record(journal.Event{
+			Actor:  journal.ActorPlanner,
+			Kind:   kind,
+			Trace:  trace,
+			Node:   node,
+			Path:   d.Path,
+			Detail: detail,
+			A:      d.Hits,
+			F:      d.LoadCV,
+		})
 		var err error
-		switch a.Kind {
+		switch d.Kind {
 		case loadbal.ActionReplicate:
-			err = c.Replicate(a.Path, a.Source, a.Target)
+			err = c.replicate(d.Path, d.Source, d.Target, trace)
 		case loadbal.ActionOffload:
-			err = c.Offload(a.Path, a.Target)
+			err = c.offload(d.Path, d.Target, trace)
 		default:
-			err = fmt.Errorf("controller: unknown action kind %v", a.Kind)
+			err = fmt.Errorf("controller: unknown action kind %v", d.Kind)
 		}
 		if err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", a, err))
+			errs = append(errs, fmt.Errorf("%s: %w", d.Action, err))
 			continue
 		}
 		applied++
@@ -613,9 +814,16 @@ func (ab *AutoBalancer) RunOnce() []loadbal.Action {
 	if onLoads != nil {
 		onLoads(loads)
 	}
-	actions := loadbal.Plan(loads, ab.controller.Table(), ab.opts)
-	applied, _ := ab.controller.ApplyActions(actions)
+	decs := loadbal.PlanDecisions(loads, ab.controller.Table(), ab.opts)
+	// Decisions made while a node incident is open are part of that
+	// incident's causal story: journal them under its trace.
+	trace := ab.controller.journalView().AnyIncident()
+	applied, _ := ab.controller.ApplyDecisions(decs, trace)
 	ab.controller.Table().ResetHits()
+	actions := make([]loadbal.Action, len(decs))
+	for i, d := range decs {
+		actions[i] = d.Action
+	}
 	ab.mu.Lock()
 	ab.rounds++
 	ab.applied += applied

@@ -9,6 +9,7 @@ import (
 	"webcluster/internal/config"
 	"webcluster/internal/content"
 	"webcluster/internal/doctree"
+	"webcluster/internal/journal"
 	"webcluster/internal/loadbal"
 	"webcluster/internal/urltable"
 )
@@ -97,7 +98,7 @@ func TestExecuteUnknownOp(t *testing.T) {
 
 func TestBuiltinSpecsCoverOps(t *testing.T) {
 	specs := BuiltinSpecs()
-	if len(specs) != 9 {
+	if len(specs) != 10 {
 		t.Fatalf("specs = %d", len(specs))
 	}
 	for _, s := range specs {
@@ -682,5 +683,194 @@ func TestControllerSurvivesBrokerDeath(t *testing.T) {
 	}
 	if _, err := ctl.Table().Lookup("/x.html"); err == nil {
 		t.Fatal("table entry survived successful delete")
+	}
+}
+
+// journaledController mirrors the production wiring in cmd/distributor
+// and cmd/backend: a front-end journal attached to the controller plus
+// one journal per node, scraped over OpJournal.
+func journaledController(t *testing.T, nodes ...string) (*Controller, *journal.Journal) {
+	t.Helper()
+	table := urltable.New(urltable.Options{})
+	ctl := NewController(table)
+	front := journal.New(journal.Options{Node: "front"})
+	ctl.SetJournal(front)
+	for _, n := range nodes {
+		b := NewBroker(Env{
+			Node:    config.NodeID(n),
+			Store:   &backend.MemStore{},
+			Journal: journal.New(journal.Options{Node: n}),
+		})
+		addr, err := b.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.AddNode(config.NodeID(n), addr); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = b.Close() })
+	}
+	return ctl, front
+}
+
+// TestExplainPlannerDecision is the acceptance check for the explain
+// verb: after the §3.3 planner replicates a hot document, Explain must
+// return the placing decision together with the inputs the planner saw
+// (interval hits, load CV, branch, rejected alternatives).
+func TestExplainPlannerDecision(t *testing.T) {
+	ctl, _ := journaledController(t, "busy", "idle")
+	obj := content.Object{Path: "/hot.html", Size: 1, Class: content.ClassHTML}
+	if err := ctl.Insert(obj, []byte("x"), "busy"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_, _ = ctl.Table().Route("/hot.html")
+	}
+	tracker := loadbal.NewTracker(loadbal.PaperWeights())
+	specs := []config.NodeSpec{
+		{ID: "busy", CPUMHz: 350, MemoryMB: 128},
+		{ID: "idle", CPUMHz: 350, MemoryMB: 128},
+	}
+	for i := 0; i < 50; i++ {
+		tracker.Record("busy", content.ClassHTML, 10e6)
+	}
+	ab := NewAutoBalancer(ctl, tracker, specs, loadbal.DefaultPlannerOptions(), 0)
+	if actions := ab.RunOnce(); len(actions) == 0 {
+		t.Fatal("planner produced no actions for a hot spot")
+	}
+
+	rep, missing, err := ctl.Explain("/hot.html", 0)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("unreachable nodes during explain: %v", missing)
+	}
+	if len(rep.Locations) < 2 {
+		t.Fatalf("explain locations = %v, want the replica too", rep.Locations)
+	}
+	d := rep.Decision
+	if d == nil {
+		t.Fatal("explain returned no planner decision for a planner-replicated doc")
+	}
+	if d.Actor != journal.ActorPlanner || d.Kind != journal.KindPlanReplicate {
+		t.Fatalf("decision = %s/%s, want planner/plan-replicate", d.Actor, d.Kind)
+	}
+	if d.Path != "/hot.html" || d.Node != "idle" {
+		t.Fatalf("decision targeted %s on %s", d.Path, d.Node)
+	}
+	// The planner's inputs ride on the event: interval hits in A, the
+	// interval load CV in F, the branch name in Detail.
+	if d.A != 50 {
+		t.Fatalf("decision hits = %d, want the 50 interval hits", d.A)
+	}
+	if d.F <= 0 {
+		t.Fatalf("decision load CV = %v, want > 0 for an imbalanced interval", d.F)
+	}
+	if d.Detail == "" || !strings.Contains(d.Detail, "replicate-hot-to-cold") {
+		t.Fatalf("decision detail = %q, want the planner branch name", d.Detail)
+	}
+	// History covers the document's whole journal trail, with the plan
+	// event present and trimmed correctly by limit.
+	found := false
+	for _, ev := range rep.History {
+		if ev.Path != "/hot.html" {
+			t.Fatalf("history leaked another path's event: %+v", ev)
+		}
+		if ev.Kind == journal.KindPlanReplicate {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("history omits the plan event")
+	}
+	limited, _, err := ctl.Explain("/hot.html", 1)
+	if err != nil || len(limited.History) != 1 {
+		t.Fatalf("limited history = %d events, %v; want 1", len(limited.History), err)
+	}
+}
+
+// TestConsoleJournalDumpExplain drives the three new console verbs end
+// to end: the merged cluster journal (front + per-node scrapes), the
+// manual flight dump trigger, and explain over the wire.
+func TestConsoleJournalDumpExplain(t *testing.T) {
+	ctl, front := journaledController(t, "n1", "n2")
+	obj := content.Object{Path: "/doc.html", Size: 1, Class: content.ClassHTML}
+	if err := ctl.Insert(obj, []byte("x"), "n1"); err != nil {
+		t.Fatal(err)
+	}
+	front.Record(journal.Event{
+		Actor: journal.ActorDistributor, Kind: journal.KindFailover,
+		Node: "n1", Path: "/doc.html", Detail: "n2",
+	})
+	var dumpedReason string
+	ctl.SetDumper(func(reason string) (string, error) {
+		dumpedReason = reason
+		return "/tmp/flight-test.json", nil
+	})
+	srv := NewConsoleServer(ctl, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	console, err := DialConsole(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = console.Close() }()
+
+	// journal: merged stream carries the front event and both nodes'
+	// agent-op events from the insert.
+	resp, err := console.Do(ConsoleRequest{Op: "journal"})
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if resp.Message != "" {
+		t.Fatalf("journal reported unreachable nodes: %s", resp.Message)
+	}
+	srcs := map[string]bool{}
+	sawFailover := false
+	for _, ev := range resp.Journal {
+		srcs[ev.Src] = true
+		if ev.Kind == journal.KindFailover {
+			sawFailover = true
+		}
+	}
+	if !srcs["front"] || !srcs["n1"] || !sawFailover {
+		t.Fatalf("merged journal sources = %v (failover=%v), want front+n1 with the failover", srcs, sawFailover)
+	}
+	// journal -node scopes to one node's scrape.
+	resp, err = console.Do(ConsoleRequest{Op: "journal", Node: "n1", Limit: 1})
+	if err != nil || len(resp.Journal) != 1 || resp.Journal[0].Src != "n1" {
+		t.Fatalf("scoped journal = %+v, %v", resp.Journal, err)
+	}
+
+	// dump: routed to the attached recorder trigger.
+	resp, err = console.Do(ConsoleRequest{Op: "dump", Path: "operator drill"})
+	if err != nil || !strings.Contains(resp.Message, "flight-test.json") {
+		t.Fatalf("dump = %+v, %v", resp, err)
+	}
+	if dumpedReason != "operator drill" {
+		t.Fatalf("dump reason = %q", dumpedReason)
+	}
+
+	// explain over the wire.
+	if _, err := console.Do(ConsoleRequest{Op: "replicate", Path: "/doc.html", Target: "n2"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = console.Do(ConsoleRequest{Op: "explain", Path: "/doc.html"})
+	if err != nil || resp.Explain == nil {
+		t.Fatalf("explain = %+v, %v", resp, err)
+	}
+	if len(resp.Explain.Locations) != 2 || len(resp.Explain.History) == 0 {
+		t.Fatalf("explain report = %+v", resp.Explain)
+	}
+	// explain of an unknown path fails cleanly.
+	if _, err := console.Do(ConsoleRequest{Op: "explain", Path: "/absent"}); err == nil {
+		t.Fatal("explain of absent path succeeded")
+	}
+	if _, err := console.Do(ConsoleRequest{Op: "explain"}); err == nil {
+		t.Fatal("explain without a path succeeded")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"webcluster/internal/faults"
+	"webcluster/internal/journal"
 )
 
 // NodeStatus is one node's health/load snapshot.
@@ -50,6 +51,7 @@ type Watcher struct {
 	interval time.Duration
 	onEvent  func(Event)
 	faults   *faults.Injector
+	jnl      *journal.Journal
 
 	mu     sync.Mutex
 	nodes  []string
@@ -91,6 +93,17 @@ func (w *Watcher) SetFaults(in *faults.Injector) {
 	w.faults = in
 }
 
+// SetJournal attaches a decision journal: each up↔down transition is
+// recorded with the probe evidence (the failing probe's error on a down
+// event), and down events open the node's incident trace so failovers,
+// plans, and purges triggered by the outage link to it. Call before
+// Start.
+func (w *Watcher) SetJournal(j *journal.Journal) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.jnl = j
+}
+
 // Start launches the probe loop in the background.
 func (w *Watcher) Start() {
 	w.wg.Add(1)
@@ -114,6 +127,7 @@ func (w *Watcher) probeAll() {
 	w.mu.Lock()
 	nodes := append([]string(nil), w.nodes...)
 	in := w.faults
+	jnl := w.jnl
 	w.mu.Unlock()
 	for _, n := range nodes {
 		var (
@@ -134,8 +148,31 @@ func (w *Watcher) probeAll() {
 		nowAlive := w.alive[n]
 		cb := w.onEvent
 		w.mu.Unlock()
-		if cb != nil && wasAlive != nowAlive {
-			cb(Event{Node: n, Up: nowAlive, Err: err})
+		if wasAlive != nowAlive {
+			if jnl != nil {
+				if nowAlive {
+					tr := jnl.EndIncident(n)
+					jnl.Record(journal.Event{
+						Actor: journal.ActorMonitor,
+						Kind:  journal.KindNodeUp,
+						Trace: tr,
+						Node:  n,
+					})
+				} else {
+					detail := err.Error()
+					tr := jnl.Incident(n)
+					jnl.Record(journal.Event{
+						Actor:  journal.ActorMonitor,
+						Kind:   journal.KindNodeDown,
+						Trace:  tr,
+						Node:   n,
+						Detail: detail,
+					})
+				}
+			}
+			if cb != nil {
+				cb(Event{Node: n, Up: nowAlive, Err: err})
+			}
 		}
 	}
 }

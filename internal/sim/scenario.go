@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"webcluster/internal/config"
@@ -183,6 +184,7 @@ func RunScenario(spec *workload.Spec, opts ScenarioOptions) (*Timeline, error) {
 		TimeScale:       scale,
 		VirtualDuration: end,
 		Points:          r.points,
+		Decisions:       r.decisions,
 		TotalRequests:   r.totalReqs,
 		TotalErrors:     r.totalErrs,
 		EventsExecuted:  eng.Executed(),
@@ -220,6 +222,7 @@ type scenarioRun struct {
 	lastHits, lastMisses int64
 
 	points    []TimelinePoint
+	decisions []DecisionPoint
 	totalReqs int64
 	totalErrs int64
 	finished  bool
@@ -412,30 +415,50 @@ func (r *scenarioRun) closeInterval(at time.Duration) {
 		return
 	}
 	if r.opts.AutoBalance && r.cluster.Table != nil {
-		r.applyPlan(loads)
+		r.applyPlan(loads, at, point.Index)
 	}
 }
 
 // applyPlan runs the §3.3 planner on the interval loads and applies its
 // placement actions to the table and nodes (copies are instantaneous at
-// this scale, as in AutoBalanceExperiment).
-func (r *scenarioRun) applyPlan(loads map[config.NodeID]float64) {
-	actions := loadbal.Plan(loads, r.cluster.Table, r.opts.Planner)
-	for _, a := range actions {
-		switch a.Kind {
+// this scale, as in AutoBalanceExperiment). Every decision — applied or
+// not — is appended to the replay's decision journal with the planner
+// inputs that produced it.
+func (r *scenarioRun) applyPlan(loads map[config.NodeID]float64, at time.Duration, interval int) {
+	decs := loadbal.PlanDecisions(loads, r.cluster.Table, r.opts.Planner)
+	for _, d := range decs {
+		applied := false
+		switch d.Kind {
 		case loadbal.ActionReplicate:
-			if err := r.cluster.Table.AddLocation(a.Path, a.Target); err == nil {
-				if n, ok := r.cluster.NodeByID(a.Target); ok {
-					n.Place(a.Path)
+			if err := r.cluster.Table.AddLocation(d.Path, d.Target); err == nil {
+				applied = true
+				if n, ok := r.cluster.NodeByID(d.Target); ok {
+					n.Place(d.Path)
 				}
 			}
 		case loadbal.ActionOffload:
-			if err := r.cluster.Table.RemoveLocation(a.Path, a.Target); err == nil {
-				if n, ok := r.cluster.NodeByID(a.Target); ok {
-					n.Unplace(a.Path)
+			if err := r.cluster.Table.RemoveLocation(d.Path, d.Target); err == nil {
+				applied = true
+				if n, ok := r.cluster.NodeByID(d.Target); ok {
+					n.Unplace(d.Path)
 				}
 			}
 		}
+		r.decisions = append(r.decisions, DecisionPoint{
+			Interval:   interval,
+			At:         at,
+			Kind:       d.Kind.String(),
+			Path:       d.Path,
+			Source:     string(d.Source),
+			Target:     string(d.Target),
+			Hits:       d.Hits,
+			LoadCV:     d.LoadCV,
+			SourceLoad: d.SourceLoad,
+			TargetLoad: d.TargetLoad,
+			Reason:     d.Reason,
+			Rejected:   strings.Join(d.Rejected, ";"),
+			Applied:    applied,
+		})
 	}
 	r.cluster.Table.ResetHits()
 }

@@ -140,6 +140,56 @@ func TestTimelineCSVGolden(t *testing.T) {
 	}
 }
 
+// The decision CSV is likewise a published interface; pin its bytes.
+func TestDecisionsCSVGolden(t *testing.T) {
+	tl := &Timeline{
+		Decisions: []DecisionPoint{
+			{Interval: 3, At: 8 * time.Minute, Kind: "replicate", Path: "/d/hot.html",
+				Source: "n1", Target: "n4", Hits: 420, LoadCV: 0.6123,
+				SourceLoad: 0.22, TargetLoad: 0.05,
+				Reason: "replicate-hot-to-cold", Rejected: "n2(0.800);n3(0.750)", Applied: true},
+			{Interval: 4, At: 10 * time.Minute, Kind: "offload", Path: "/d/warm.html",
+				Target: "n2", Hits: 77, LoadCV: 0.31,
+				TargetLoad: 0.91, Reason: "offload-hot"},
+		},
+	}
+	var b strings.Builder
+	if err := tl.WriteDecisionsCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "interval,at_s,kind,path,source,target,hits,load_cv,source_load,target_load,reason,rejected,applied\n" +
+		"3,480.000,replicate,/d/hot.html,n1,n4,420,0.6123,0.2200,0.0500,replicate-hot-to-cold,n2(0.800);n3(0.750),1\n" +
+		"4,600.000,offload,/d/warm.html,,n2,77,0.3100,0.0000,0.9100,offload-hot,,0\n"
+	if b.String() != want {
+		t.Fatalf("decision CSV drifted from golden format:\ngot:\n%swant:\n%s", b.String(), want)
+	}
+}
+
+// An auto-balance replay that moves content must leave its working in
+// the decision journal: every applied placement change traceable to a
+// planner branch with its load inputs.
+func TestScenarioRecordsDecisions(t *testing.T) {
+	tl, err := RunScenario(smallSpec(), DefaultScenarioOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Decisions) == 0 {
+		t.Fatal("auto-balance replay recorded no planner decisions")
+	}
+	applied := 0
+	for _, d := range tl.Decisions {
+		if d.Kind == "" || d.Reason == "" || d.Path == "" {
+			t.Fatalf("decision missing fields: %+v", d)
+		}
+		if d.Applied {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no decision was applied in a replay that auto-balances")
+	}
+}
+
 func TestTimelineMeanRPS(t *testing.T) {
 	tl := &Timeline{Points: []TimelinePoint{{RPS: 10}, {RPS: 20}, {RPS: 30}, {RPS: 40}}}
 	if got := tl.MeanRPS(0, 2); got != 15 {

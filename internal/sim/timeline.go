@@ -40,6 +40,35 @@ type TimelinePoint struct {
 	StaleServed int64
 }
 
+// DecisionPoint is one planner decision taken during a replay, with the
+// planner inputs that produced it — the simulated counterpart of the
+// live cluster's decision journal.
+type DecisionPoint struct {
+	// Interval is the index of the interval whose close triggered the
+	// planning round.
+	Interval int
+	// At is the virtual time of the round.
+	At time.Duration
+	// Kind is "replicate" or "offload".
+	Kind string
+	// Path is the document moved.
+	Path string
+	// Source and Target are the chosen nodes ("" where not applicable).
+	Source, Target string
+	// Hits is the document's interval demand reading.
+	Hits int64
+	// LoadCV is the cluster imbalance the planner ran against.
+	LoadCV float64
+	// SourceLoad and TargetLoad are the chosen nodes' load readings.
+	SourceLoad, TargetLoad float64
+	// Reason names the planner branch that produced the decision.
+	Reason string
+	// Rejected joins the alternatives passed over with ";".
+	Rejected string
+	// Applied reports whether the table mutation succeeded.
+	Applied bool
+}
+
 // Timeline is the full per-interval series of one scenario replay.
 type Timeline struct {
 	// Name echoes the spec's scenario name.
@@ -52,6 +81,10 @@ type Timeline struct {
 	VirtualDuration time.Duration
 	// Points are the intervals in order.
 	Points []TimelinePoint
+	// Decisions are the planner decisions in order (AutoBalance replays
+	// only; empty otherwise). They are emitted as a separate CSV —
+	// WriteDecisionsCSV — so the interval timeline format stays fixed.
+	Decisions []DecisionPoint
 	// TotalRequests and TotalErrors sum over all intervals.
 	TotalRequests, TotalErrors int64
 	// EventsExecuted is the engine's event count, a proxy for how much
@@ -88,6 +121,37 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 			p.ClassShed[SLOInteractive],
 			p.ClassShed[SLOBatch],
 			p.StaleServed,
+		)
+	}
+	return bw.Flush()
+}
+
+// DecisionsCSVHeader is the column set of the planner-decision CSV. One
+// row per decision; times in seconds of virtual time.
+const DecisionsCSVHeader = "interval,at_s,kind,path,source,target,hits,load_cv,source_load,target_load,reason,rejected,applied"
+
+// WriteDecisionsCSV emits the planner-decision journal of the replay.
+// Output is byte-deterministic for a deterministic timeline.
+func (t *Timeline) WriteDecisionsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, DecisionsCSVHeader)
+	for _, d := range t.Decisions {
+		applied := 0
+		if d.Applied {
+			applied = 1
+		}
+		fmt.Fprintf(bw, "%d,%.3f,%s,%s,%s,%s,%d,%.4f,%.4f,%.4f,%s,%s,%d\n",
+			d.Interval,
+			d.At.Seconds(),
+			d.Kind,
+			d.Path,
+			d.Source, d.Target,
+			d.Hits,
+			d.LoadCV,
+			d.SourceLoad, d.TargetLoad,
+			d.Reason,
+			d.Rejected,
+			applied,
 		)
 	}
 	return bw.Flush()

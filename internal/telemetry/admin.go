@@ -4,15 +4,20 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
+
+	"webcluster/internal/journal"
 )
 
 // AdminServer is the node-local observability endpoint: GET /metrics
 // (Prometheus text exposition), /debug/vars (JSON registry snapshot),
-// /debug/traces (recent spans, newest first, ?limit=N), and /healthz.
-// It serves read-only views — mutation stays on the management console.
+// /debug/traces (recent spans oldest-first by start time, ?limit=N),
+// /debug/journal (decision-journal events when a journal is attached,
+// ?limit=N&since=SEQ), and /healthz. It serves read-only views —
+// mutation stays on the management console.
 type AdminServer struct {
 	tel *Telemetry
 	mux *http.ServeMux
@@ -21,6 +26,9 @@ type AdminServer struct {
 	// wg joins the serve goroutine so Close does not return while it is
 	// still running (it previously leaked past Close).
 	wg sync.WaitGroup
+
+	jmu sync.Mutex
+	jnl *journal.Journal
 }
 
 // NewAdmin builds an admin server over t.
@@ -29,8 +37,17 @@ func NewAdmin(t *Telemetry) *AdminServer {
 	a.mux.HandleFunc("/metrics", a.handleMetrics)
 	a.mux.HandleFunc("/debug/vars", a.handleVars)
 	a.mux.HandleFunc("/debug/traces", a.handleTraces)
+	a.mux.HandleFunc("/debug/journal", a.handleJournal)
 	a.mux.HandleFunc("/healthz", a.handleHealthz)
 	return a
+}
+
+// SetJournal attaches the node's decision journal so /debug/journal
+// serves it. May be called before or after Start; nil detaches.
+func (a *AdminServer) SetJournal(j *journal.Journal) {
+	a.jmu.Lock()
+	a.jnl = j
+	a.jmu.Unlock()
 }
 
 // Mux exposes the underlying mux so a command can mount extra handlers
@@ -100,10 +117,55 @@ func (a *AdminServer) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	// The span ring returns entries in ring order, which is arbitrary
+	// once the ring has wrapped; sort by start time so readers see the
+	// actual request chronology.
+	spans := a.tel.Spans(limit)
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].StartUnixNano < spans[j].StartUnixNano
+	})
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(a.tel.Spans(limit))
+	_ = enc.Encode(spans)
+}
+
+func (a *AdminServer) handleJournal(w http.ResponseWriter, r *http.Request) {
+	a.jmu.Lock()
+	jnl := a.jnl
+	a.jmu.Unlock()
+	if jnl == nil {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	var evs []journal.Event
+	if since > 0 {
+		evs = jnl.Since(since, limit)
+	} else {
+		evs = jnl.Snapshot(limit)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(evs)
 }
 
 func (a *AdminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
